@@ -1,0 +1,115 @@
+// Command uniintd is the appliance-side daemon: it assembles the home
+// network (HAVi middleware + appliance simulators), runs the home
+// appliance application that generates the composed control panel, and
+// exports the panel's display session over the universal interaction
+// protocol on a TCP listener.
+//
+// Connect with cmd/uniint-proxy:
+//
+//	uniintd -listen :5900 -appliances tv,vcr,amplifier,aircon,lamp
+//	uniint-proxy -server localhost:5900
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"uniint/internal/appliance"
+	"uniint/internal/homeapp"
+	"uniint/internal/toolkit"
+	"uniint/internal/uniserver"
+)
+
+func main() {
+	listen := flag.String("listen", ":5900", "address to serve the universal interaction protocol on")
+	appliances := flag.String("appliances", "tv,vcr,amplifier,aircon,lamp",
+		"comma-separated appliance classes to put on the home network")
+	tick := flag.Duration("tick", 200*time.Millisecond, "hardware simulation tick interval (0 disables)")
+	width := flag.Int("width", 640, "desktop width")
+	height := flag.Int("height", 480, "desktop height")
+	flag.Parse()
+
+	if err := run(*listen, *appliances, *tick, *width, *height); err != nil {
+		fmt.Fprintln(os.Stderr, "uniintd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, classes string, tick time.Duration, width, height int) error {
+	home := appliance.NewHome()
+	defer home.Close()
+	counts := map[string]int{}
+	for _, class := range strings.Split(classes, ",") {
+		class = strings.TrimSpace(class)
+		if class == "" {
+			continue
+		}
+		counts[class]++
+		name := fmt.Sprintf("%s-%d", strings.ToUpper(class[:1])+class[1:], counts[class])
+		a, err := makeAppliance(class, name)
+		if err != nil {
+			return err
+		}
+		if _, err := home.Add(a); err != nil {
+			return err
+		}
+		fmt.Printf("attached %-12s (%s)\n", name, class)
+	}
+	home.Network().WaitIdle()
+	if tick > 0 {
+		home.StartTicker(tick)
+	}
+
+	display := toolkit.NewDisplay(width, height)
+	app := homeapp.New(home.Network(), display)
+	defer app.Close()
+	home.Network().WaitIdle()
+	fmt.Println("control panels:", app.PanelInventory())
+
+	server := uniserver.New(display, "uniintd home session")
+	defer server.Close()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving universal interaction protocol on %s\n", ln.Addr())
+
+	// Serve until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+	select {
+	case <-sig:
+		fmt.Println("\nshutting down")
+		ln.Close()
+		<-serveErr
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}
+
+func makeAppliance(class, name string) (appliance.Appliance, error) {
+	switch class {
+	case "tv":
+		return appliance.NewTV(name), nil
+	case "vcr":
+		return appliance.NewVCR(name), nil
+	case "amplifier", "amp":
+		return appliance.NewAmplifier(name), nil
+	case "aircon", "ac":
+		return appliance.NewAircon(name), nil
+	case "lamp", "light":
+		return appliance.NewLamp(name), nil
+	default:
+		return nil, fmt.Errorf("unknown appliance class %q", class)
+	}
+}

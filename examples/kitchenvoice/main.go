@@ -1,0 +1,147 @@
+// Kitchen voice (paper characteristic C2 — dynamic, situation-driven
+// switching):
+//
+// "A user who controls an appliance by his/her cellular phone as an input
+// interaction device will change the interaction device to a voice input
+// system because his both hands are busy for other work currently."
+//
+// The user cooks in the kitchen, controlling the air conditioner with a
+// phone keypad and watching the panel on the phone LCD. When both hands
+// become busy, the situation engine switches the input to voice without
+// interrupting the session; when the user sits down in the living room to
+// watch TV, it switches to the remote control and TV screen.
+//
+// Run with: go run ./examples/kitchenvoice
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"uniint"
+	"uniint/internal/appliance"
+	"uniint/internal/device"
+	"uniint/internal/gfx"
+	"uniint/internal/havi/fcm"
+	"uniint/internal/situation"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ac := appliance.NewAircon("Kitchen AC")
+	session, err := uniint.NewSession(uniint.Options{
+		Name:       "kitchen",
+		Appliances: []appliance.Appliance{ac},
+	})
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	// The user carries a phone and wears a microphone; the living room
+	// has a remote and a TV screen.
+	phone := device.NewPhone("phone")
+	voice := device.NewVoiceInput("mic")
+	remote := device.NewRemoteControl("remote")
+	tvScreen := device.NewTVDisplay("tv-screen")
+	defer phone.Close()
+	defer voice.Close()
+	defer remote.Close()
+	for _, err := range []error{
+		session.Proxy.AttachInput(phone),
+		session.Proxy.AttachInput(voice),
+		session.Proxy.AttachInput(remote),
+		session.Proxy.AttachOutput(phone),
+		session.Proxy.AttachOutput(tvScreen),
+	} {
+		if err != nil {
+			return err
+		}
+	}
+
+	// The situation engine owns device selection from here on.
+	engine := situation.NewEngine(session.Proxy, situation.DefaultRules())
+
+	show := func(d situation.Decision) {
+		fmt.Printf("situation %+v\n", d.Situation)
+		fmt.Printf("  -> input %q (rule %s), output %q (rule %s)\n",
+			session.Proxy.ActiveInput(), d.InputRule,
+			session.Proxy.ActiveOutput(), d.OutputRule)
+	}
+	temp := func() int {
+		session.WaitIdle()
+		v, _ := ac.Unit().Get(fcm.AirconTarget)
+		return v
+	}
+
+	// Phase 1: cooking, hands free — phone in, phone LCD out.
+	show(engine.SetSituation(situation.Situation{Location: "kitchen", Activity: "cooking"}))
+	phone.PressKey("ok") // power toggle is focused: AC on
+	settle(session, func() bool { return on(ac) })
+	phone.PressKey("#") // focus target-temperature slider
+	phone.PressKey("4") // one degree cooler
+	settle(session, func() bool { return temp() == 23 })
+	fmt.Printf("  AC on, target %dC (set by keypad)\n", temp())
+
+	lcd := phone.WaitFrames(1)
+	fmt.Println("\n  phone LCD (96x64, 1-bit):")
+	fmt.Println(indent(gfx.AsciiBitmap(lcd.Bits)))
+
+	// Phase 2: both hands in the dough — the engine switches to voice.
+	show(engine.SetSituation(situation.Situation{
+		Location: "kitchen", Activity: "cooking", HandsBusy: true,
+	}))
+	before := temp()
+	voice.Say("turn it down twice") // two degrees cooler, hands-free
+	settle(session, func() bool { return temp() == before-2 })
+	fmt.Printf("  target %dC (set by voice)\n", temp())
+	voice.Say("please make it warmer") // outside the grammar: rejected
+	settle(session, func() bool { return voice.Rejected() == 1 })
+	fmt.Printf("  recognized=%d rejected=%d utterances\n", voice.Recognized(), voice.Rejected())
+
+	// Phase 3: dinner is cooking itself; the user sits on the sofa.
+	show(engine.SetSituation(situation.Situation{
+		Location: "livingroom", Activity: "watching_tv", Seated: true,
+	}))
+	before = temp()
+	remote.Press("right") // remote adjusts the focused slider now
+	settle(session, func() bool { return temp() == before+1 })
+	fmt.Printf("  target %dC (set by remote)\n", temp())
+	tvFrame := tvScreen.WaitFrames(1)
+	fmt.Printf("  TV now shows the panel (frame #%d, %dx%d)\n", tvFrame.Seq, tvFrame.W, tvFrame.H)
+
+	fmt.Printf("\nswitch history: %d decisions, proxy switches in=%d out=%d\n",
+		len(engine.History()),
+		session.Proxy.Stats().InputSwitches, session.Proxy.Stats().OutputSwitches)
+	return nil
+}
+
+func on(ac *appliance.Aircon) bool {
+	v, _ := ac.Unit().Get(fcm.CtlPower)
+	return v == 1
+}
+
+func settle(s *uniint.Session, cond func() bool) {
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.WaitIdle()
+}
+
+func indent(s string) string {
+	out := "    "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "    "
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+// Living room (paper characteristic C1 — independent device choice):
+//
+// "The user may choose his/her cellular phones as their input interaction
+// devices, and television displays as his/her output interaction devices."
+//
+// A TV and a VCR are on the home network; the home application composes a
+// single control panel for both. The user drives it from the sofa with a
+// phone keypad while the big TV screen shows the GUI: power the TV on,
+// tune the channel up, then power the VCR, load a tape and press play —
+// every step a universal interaction event.
+//
+// Run with: go run ./examples/livingroom
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"uniint"
+	"uniint/internal/appliance"
+	"uniint/internal/device"
+	"uniint/internal/gfx"
+	"uniint/internal/havi"
+	"uniint/internal/havi/fcm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tv := appliance.NewTV("Living TV")
+	vcr := appliance.NewVCR("Living VCR")
+	session, err := uniint.NewSession(uniint.Options{
+		Name:       "living room",
+		Appliances: []appliance.Appliance{tv, vcr},
+	})
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+	session.WaitIdle()
+
+	fmt.Println("composed control panel:", session.App.PanelInventory())
+
+	// Input: phone keypad. Output: the television screen. Chosen
+	// independently (C1).
+	phone := device.NewPhone("sofa-phone")
+	screen := device.NewTVDisplay("tv-screen")
+	defer phone.Close()
+	if err := session.Proxy.AttachInput(phone); err != nil {
+		return err
+	}
+	if err := session.Proxy.AttachOutput(screen); err != nil {
+		return err
+	}
+	if err := session.Proxy.SelectInput("sofa-phone"); err != nil {
+		return err
+	}
+	if err := session.Proxy.SelectOutput("tv-screen"); err != nil {
+		return err
+	}
+	screen.WaitFrames(1)
+
+	// The user operates the composed panel purely with the keypad:
+	// '#' = focus next, '2' = focus previous, '6' = right, 'ok' = press.
+	press := func(keys ...string) {
+		for _, k := range keys {
+			phone.PressKey(k)
+			time.Sleep(3 * time.Millisecond) // a human thumb is far slower
+		}
+	}
+	report := func(label string, f *havi.BaseFCM, ctl string) {
+		session.WaitIdle()
+		v, _ := f.Get(ctl)
+		fmt.Printf("  %-24s %d\n", label+":", v)
+	}
+
+	// The composed panel's focus order is deterministic (registry order:
+	// TV then VCR; within each FCM: settable controls, then the action
+	// row). Focus starts on the tuner's power toggle.
+	fmt.Println("\n[keypad] power on the TV tuner")
+	press("ok")
+	report("tuner power", tv.Tuner(), fcm.CtlPower)
+
+	fmt.Println("[keypad] tab to the channel slider, nudge up 3")
+	press("#", "6", "6", "6")
+	report("tuner channel", tv.Tuner(), fcm.TunerChannel)
+
+	// Walk to the VCR deck's power toggle: tuner has 4 more focusables
+	// (band, scan+, scan-), display 4, speaker 5 — 13 tabs from the
+	// channel slider.
+	fmt.Println("[keypad] walk to the VCR, power it on")
+	press("#", "#", "#", "#", "#", "#", "#", "#", "#", "#", "#", "#", "#", "ok")
+	report("vcr power", vcr.Deck(), fcm.CtlPower)
+
+	// The deck's action row follows its power toggle:
+	// play stop rec pause rew ff eject load. Load is 8 tabs ahead.
+	fmt.Println("[keypad] load a tape")
+	press("#", "#", "#", "#", "#", "#", "#", "#", "ok")
+	report("tape present", vcr.Deck(), fcm.VCRTape)
+
+	fmt.Println("[keypad] back up to Play, press it")
+	press("2", "2", "2", "2", "2", "2", "2", "ok")
+	session.WaitIdle()
+	session.Home.Advance(25) // let the tape spin
+	session.WaitIdle()
+	tr, _ := vcr.Deck().Get(fcm.VCRTransport)
+	ctr, _ := vcr.Deck().Get(fcm.VCRCounter)
+	fmt.Printf("  %-24s %s (counter %d)\n", "vcr transport:", fcm.TransportNames[tr], ctr)
+
+	// Show the GUI as the television renders it.
+	frame := screen.Latest()
+	fmt.Printf("\nTV screen (%dx%d, frame #%d):\n", frame.W, frame.H, frame.Seq)
+	fmt.Println(gfx.Ascii(frame.RGB, 100))
+
+	st := session.Proxy.Stats()
+	fmt.Printf("session: %d keypad events -> %d universal events, %d frames to the TV\n",
+		st.RawEvents, st.UniversalSent, st.FramesPresented)
+	return nil
+}

@@ -1,0 +1,87 @@
+// Quickstart: the smallest complete universal-interaction setup.
+//
+// One lamp on the home network, the auto-generated control panel exported
+// by the UniInt server, and a PDA as both input and output interaction
+// device. A stylus tap on the PDA toggles the lamp; the repainted control
+// panel flows back to the PDA's screen.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"uniint"
+	"uniint/internal/appliance"
+	"uniint/internal/device"
+	"uniint/internal/gfx"
+	"uniint/internal/havi/fcm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A home with one appliance.
+	lamp := appliance.NewLamp("Desk Lamp")
+	session, err := uniint.NewSession(uniint.Options{
+		Name:       "quickstart",
+		Appliances: []appliance.Appliance{lamp},
+	})
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	// 2. A PDA, attached as input and output; its plug-in modules are
+	// handed to the UniInt proxy automatically.
+	pda := device.NewPDA("my-pda")
+	defer pda.Close()
+	if err := session.Proxy.AttachInput(pda); err != nil {
+		return err
+	}
+	if err := session.Proxy.AttachOutput(pda); err != nil {
+		return err
+	}
+	if err := session.Proxy.SelectInput("my-pda"); err != nil {
+		return err
+	}
+	if err := session.Proxy.SelectOutput("my-pda"); err != nil {
+		return err
+	}
+	pda.WaitFrames(1)
+
+	power := func() int {
+		v, _ := lamp.Bulb().Get(fcm.CtlPower)
+		return v
+	}
+	fmt.Printf("lamp power before tap: %d\n", power())
+
+	// 3. Tap the lamp's power toggle. The focused widget is the toggle;
+	// find its desktop position and map it to PDA coordinates (the PDA
+	// panel is half the desktop in each dimension).
+	session.Display.Render()
+	bounds := session.Display.Focus().Bounds()
+	pda.Tap((bounds.X+4)/2, (bounds.Y+4)/2)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for power() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("lamp power after tap:  %d\n", power())
+
+	// 4. Show what the PDA's screen received.
+	frame := pda.WaitFrames(2)
+	fmt.Printf("\nPDA screen (%dx%d, frame #%d):\n", frame.W, frame.H, frame.Seq)
+	fmt.Println(gfx.Ascii(frame.RGB, 72))
+
+	st := session.Proxy.Stats()
+	fmt.Printf("proxy stats: %d device events -> %d universal events, %d frames presented\n",
+		st.RawEvents, st.UniversalSent, st.FramesPresented)
+	return nil
+}

@@ -1,0 +1,119 @@
+// Unmodified application (paper characteristic C3):
+//
+// "Any applications executed in appliances can use the any user interface
+// systems if the user interface systems speak the universal interaction
+// protocol. [...] our approach will allow us to control various future
+// consumer electronics from various interaction devices without modifying
+// their application programs."
+//
+// The home application below is written purely against the GUI toolkit —
+// it contains no device-specific code at all. The same running instance
+// is then driven, in turn, by a phone keypad, a voice recognizer, a
+// gesture tracker, a remote control and a PDA stylus.
+//
+// Run with: go run ./examples/unmodified
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"uniint"
+	"uniint/internal/appliance"
+	"uniint/internal/core"
+	"uniint/internal/device"
+	"uniint/internal/havi/fcm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lamp := appliance.NewLamp("Hall Lamp")
+	session, err := uniint.NewSession(uniint.Options{
+		Name:       "unmodified app",
+		Appliances: []appliance.Appliance{lamp},
+	})
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	pda := device.NewPDA("pda")
+	phone := device.NewPhone("phone")
+	voice := device.NewVoiceInput("voice")
+	gesture := device.NewGestureInput("gesture")
+	remote := device.NewRemoteControl("remote")
+	defer pda.Close()
+	defer phone.Close()
+	defer voice.Close()
+	defer gesture.Close()
+	defer remote.Close()
+	for _, in := range []core.InputDevice{pda, phone, voice, gesture, remote} {
+		if err := session.Proxy.AttachInput(in); err != nil {
+			return err
+		}
+	}
+
+	power := func() int {
+		session.WaitIdle()
+		v, _ := lamp.Bulb().Get(fcm.CtlPower)
+		return v
+	}
+	await := func(want int) {
+		deadline := time.Now().Add(2 * time.Second)
+		for power() != want && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	fmt.Println("one application; five interaction devices; zero app changes")
+	fmt.Printf("%-10s %-28s %s\n", "device", "user action", "lamp power")
+
+	// Every device toggles the same focused power toggle; the application
+	// only ever sees universal keyboard/mouse events.
+	step := func(id, label string, act func(), want int) error {
+		if err := session.Proxy.SelectInput(id); err != nil {
+			return err
+		}
+		act()
+		await(want)
+		fmt.Printf("%-10s %-28s %d\n", id, label, power())
+		return nil
+	}
+
+	if err := step("phone", `keypad "ok"`, func() { phone.PressKey("ok") }, 1); err != nil {
+		return err
+	}
+	if err := step("voice", `says "toggle"`, func() { voice.Say("toggle") }, 0); err != nil {
+		return err
+	}
+	if err := step("gesture", "taps in the air", func() {
+		// A raw trajectory; the device classifies it as a tap.
+		gesture.Stroke([]device.Point{{X: 50, Y: 50}, {X: 51, Y: 51}, {X: 50, Y: 52}, {X: 51, Y: 50}})
+	}, 1); err != nil {
+		return err
+	}
+	if err := step("remote", `presses [OK]`, func() { remote.Press("ok") }, 0); err != nil {
+		return err
+	}
+
+	// The PDA drives the pointer path: tap the toggle's screen location.
+	session.Display.Render()
+	b := session.Display.Focus().Bounds()
+	if err := step("pda", "stylus tap on the toggle", func() {
+		pda.Tap((b.X+4)/2, (b.Y+4)/2)
+	}, 1); err != nil {
+		return err
+	}
+
+	st := session.Proxy.Stats()
+	fmt.Printf("\nproxy translated %d device events into %d universal events (%d switches)\n",
+		st.RawEvents, st.UniversalSent, st.InputSwitches)
+	fmt.Println("the application and toolkit were never told which device was in use")
+	return nil
+}

@@ -1,0 +1,537 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"uniint/internal/gfx"
+	"uniint/internal/rfb"
+)
+
+// Errors returned by proxy device management.
+var (
+	ErrUnknownDevice = errors.New("core: unknown device")
+	ErrDuplicateID   = errors.New("core: duplicate device id")
+	ErrNoSuchClass   = errors.New("core: no attached device of class")
+	ErrProxyClosed   = errors.New("core: proxy closed")
+	ErrNilPlugin     = errors.New("core: device supplied no plug-in")
+	ErrNotRunning    = errors.New("core: proxy not running")
+)
+
+// Proxy is the UniInt proxy: one universal-interaction client connection
+// plus the attached interaction devices and their plug-in modules.
+type Proxy struct {
+	client *rfb.ClientConn
+
+	mu        sync.Mutex
+	inputs    map[string]*inputBinding
+	outputs   map[string]*outputBinding
+	activeIn  string
+	activeOut string
+	mirrors   map[string]bool // extra output devices fed alongside the primary
+	closed    bool
+
+	running atomic.Bool
+	rearm   chan struct{}
+	wg      sync.WaitGroup
+
+	stats proxyStats
+}
+
+type inputBinding struct {
+	dev    InputDevice
+	plugin InputPlugin
+	stop   chan struct{}
+}
+
+type outputBinding struct {
+	dev    OutputDevice
+	plugin OutputPlugin
+	seq    atomic.Uint64
+}
+
+type proxyStats struct {
+	rawEvents    atomic.Int64
+	droppedRaw   atomic.Int64
+	uniSent      atomic.Int64
+	frames       atomic.Int64
+	inSwitches   atomic.Int64
+	outSwitches  atomic.Int64
+	convertFails atomic.Int64
+}
+
+// Stats is a snapshot of proxy counters.
+type Stats struct {
+	RawEvents       int64 // device events received (all attached devices)
+	DroppedRaw      int64 // events from non-selected devices, discarded
+	UniversalSent   int64 // universal events forwarded to the server
+	FramesPresented int64 // converted frames delivered to output devices
+	InputSwitches   int64
+	OutputSwitches  int64
+	BytesToServer   int64
+	BytesFromServer int64
+}
+
+// NewProxy wraps an already-handshaked client connection.
+func NewProxy(client *rfb.ClientConn) *Proxy {
+	return &Proxy{
+		client:  client,
+		inputs:  make(map[string]*inputBinding),
+		outputs: make(map[string]*outputBinding),
+		mirrors: make(map[string]bool),
+		rearm:   make(chan struct{}, 1),
+	}
+}
+
+// Dial connects to a UniInt server over conn and returns the proxy.
+func Dial(conn net.Conn) (*Proxy, error) {
+	client, err := rfb.Dial(conn)
+	if err != nil {
+		return nil, fmt.Errorf("core: dial server: %w", err)
+	}
+	c := NewProxy(client)
+	// Advertise the compact encodings the proxy can decode.
+	if err := client.SetEncodings([]int32{
+		rfb.EncHextile, rfb.EncRRE, rfb.EncZlib, rfb.EncCopyRect, rfb.EncRaw,
+	}); err != nil {
+		client.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Client exposes the underlying protocol connection (stats, testing).
+func (p *Proxy) Client() *rfb.ClientConn { return p.client }
+
+// Run drives the protocol read loop until the connection closes. It must
+// be called exactly once, typically on its own goroutine.
+//
+// Incremental update requests are re-armed by a helper goroutine rather
+// than from the read loop itself, so the read loop never contends on the
+// connection's write path — a requirement for deadlock freedom over fully
+// synchronous transports (net.Pipe).
+func (p *Proxy) Run() error {
+	p.running.Store(true)
+	defer p.running.Store(false)
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go p.rearmLoop(quit, done)
+	err := p.client.Run(proxyHandler{p})
+	// The read loop is the proxy's heartbeat: once it exits the session is
+	// over, so close the transport to unblock any peer writer.
+	p.client.Close()
+	close(quit)
+	<-done
+	return err
+}
+
+// rearmLoop issues one incremental FramebufferUpdateRequest per signal.
+func (p *Proxy) rearmLoop(quit, done chan struct{}) {
+	defer close(done)
+	w, h := p.client.Size()
+	full := gfx.R(0, 0, w, h)
+	for {
+		select {
+		case <-p.rearm:
+			// Errors mean the connection is going down; Run reports it.
+			_ = p.client.RequestUpdate(true, full)
+		case <-quit:
+			return
+		}
+	}
+}
+
+// Close tears down the connection and stops all device pumps.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, b := range p.inputs {
+		close(b.stop)
+	}
+	p.mu.Unlock()
+	p.client.Close()
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		RawEvents:       p.stats.rawEvents.Load(),
+		DroppedRaw:      p.stats.droppedRaw.Load(),
+		UniversalSent:   p.stats.uniSent.Load(),
+		FramesPresented: p.stats.frames.Load(),
+		InputSwitches:   p.stats.inSwitches.Load(),
+		OutputSwitches:  p.stats.outSwitches.Load(),
+		BytesToServer:   p.client.BytesSent(),
+		BytesFromServer: p.client.BytesReceived(),
+	}
+}
+
+// --- device attachment ----------------------------------------------------
+
+// AttachInput registers an input device. The device's plug-in module is
+// received ("transmitted" in the paper's terms) here; a pump goroutine
+// starts draining the device's event stream immediately so that switching
+// to it later is instantaneous.
+func (p *Proxy) AttachInput(d InputDevice) error {
+	plugin := d.InputPlugin()
+	if plugin == nil {
+		return fmt.Errorf("%w: input %s", ErrNilPlugin, d.ID())
+	}
+	w, h := p.client.Size()
+	plugin.Bind(w, h)
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrProxyClosed
+	}
+	if _, dup := p.inputs[d.ID()]; dup {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: input %s", ErrDuplicateID, d.ID())
+	}
+	b := &inputBinding{dev: d, plugin: plugin, stop: make(chan struct{})}
+	p.inputs[d.ID()] = b
+	p.mu.Unlock()
+
+	p.wg.Add(1)
+	go p.pumpInput(b)
+	return nil
+}
+
+// DetachInput stops and removes an input device. Detaching the selected
+// device leaves no input selected.
+func (p *Proxy) DetachInput(id string) error {
+	p.mu.Lock()
+	b, ok := p.inputs[id]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: input %s", ErrUnknownDevice, id)
+	}
+	delete(p.inputs, id)
+	if p.activeIn == id {
+		p.activeIn = ""
+	}
+	p.mu.Unlock()
+	close(b.stop)
+	return nil
+}
+
+// AttachOutput registers an output device and receives its plug-in module.
+func (p *Proxy) AttachOutput(d OutputDevice) error {
+	plugin := d.OutputPlugin()
+	if plugin == nil {
+		return fmt.Errorf("%w: output %s", ErrNilPlugin, d.ID())
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrProxyClosed
+	}
+	if _, dup := p.outputs[d.ID()]; dup {
+		return fmt.Errorf("%w: output %s", ErrDuplicateID, d.ID())
+	}
+	p.outputs[d.ID()] = &outputBinding{dev: d, plugin: plugin}
+	return nil
+}
+
+// DetachOutput removes an output device.
+func (p *Proxy) DetachOutput(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.outputs[id]; !ok {
+		return fmt.Errorf("%w: output %s", ErrUnknownDevice, id)
+	}
+	delete(p.outputs, id)
+	if p.activeOut == id {
+		p.activeOut = ""
+	}
+	return nil
+}
+
+// InputIDs lists attached input devices.
+func (p *Proxy) InputIDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.inputs))
+	for id := range p.inputs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// OutputIDs lists attached output devices.
+func (p *Proxy) OutputIDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.outputs))
+	for id := range p.outputs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// --- selection and switching (C1, C2) --------------------------------------
+
+// SelectInput makes the named device the session's input. Events from all
+// other input devices are discarded while it is selected.
+func (p *Proxy) SelectInput(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.inputs[id]; !ok {
+		return fmt.Errorf("%w: input %s", ErrUnknownDevice, id)
+	}
+	if p.activeIn != id {
+		p.activeIn = id
+		p.stats.inSwitches.Add(1)
+	}
+	return nil
+}
+
+// SelectOutput makes the named device the session's display. The proxy
+// renegotiates the wire pixel format to the device's preference and
+// demands a full update so the new device starts with a complete frame.
+func (p *Proxy) SelectOutput(id string) error {
+	p.mu.Lock()
+	b, ok := p.outputs[id]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: output %s", ErrUnknownDevice, id)
+	}
+	changed := p.activeOut != id
+	p.activeOut = id
+	p.mu.Unlock()
+
+	if changed {
+		p.stats.outSwitches.Add(1)
+		if err := p.client.SetPixelFormat(b.plugin.PixelFormat()); err != nil {
+			return err
+		}
+		w, h := p.client.Size()
+		if err := p.client.RequestUpdate(false, gfx.R(0, 0, w, h)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SelectInputByClass selects the first attached input device of the given
+// class (deterministically: lowest id wins).
+func (p *Proxy) SelectInputByClass(class string) error {
+	id, ok := p.findByClass(class, true)
+	if !ok {
+		return fmt.Errorf("%w: input class %q", ErrNoSuchClass, class)
+	}
+	return p.SelectInput(id)
+}
+
+// SelectOutputByClass selects the first attached output device of the
+// given class.
+func (p *Proxy) SelectOutputByClass(class string) error {
+	id, ok := p.findByClass(class, false)
+	if !ok {
+		return fmt.Errorf("%w: output class %q", ErrNoSuchClass, class)
+	}
+	return p.SelectOutput(id)
+}
+
+func (p *Proxy) findByClass(class string, input bool) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	best := ""
+	if input {
+		for id, b := range p.inputs {
+			if b.dev.Class() == class && (best == "" || id < best) {
+				best = id
+			}
+		}
+	} else {
+		for id, b := range p.outputs {
+			if b.dev.Class() == class && (best == "" || id < best) {
+				best = id
+			}
+		}
+	}
+	return best, best != ""
+}
+
+// AddMirror feeds the named attached output device with converted frames
+// in addition to the primary output — the extension scenario where the TV
+// shows the panel for everyone in the room while the user's PDA shows it
+// too. The wire pixel format stays the primary device's preference;
+// mirrors convert from the shared shadow framebuffer.
+func (p *Proxy) AddMirror(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.outputs[id]; !ok {
+		return fmt.Errorf("%w: output %s", ErrUnknownDevice, id)
+	}
+	p.mirrors[id] = true
+	return nil
+}
+
+// RemoveMirror stops mirroring to the device.
+func (p *Proxy) RemoveMirror(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.mirrors, id)
+}
+
+// Mirrors lists the devices currently mirrored.
+func (p *Proxy) Mirrors() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.mirrors))
+	for id := range p.mirrors {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ActiveInput returns the selected input device id ("" when none).
+func (p *Proxy) ActiveInput() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.activeIn
+}
+
+// ActiveOutput returns the selected output device id ("" when none).
+func (p *Proxy) ActiveOutput() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.activeOut
+}
+
+// --- input pipeline ---------------------------------------------------------
+
+// pumpInput drains one device's event stream for the lifetime of its
+// attachment. Events are translated and forwarded only while the device is
+// selected; otherwise they are counted and dropped, keeping the device's
+// channel from backing up across switches.
+func (p *Proxy) pumpInput(b *inputBinding) {
+	defer p.wg.Done()
+	for {
+		select {
+		case ev, ok := <-b.dev.Events():
+			if !ok {
+				return
+			}
+			p.stats.rawEvents.Add(1)
+			if p.ActiveInput() != b.dev.ID() {
+				p.stats.droppedRaw.Add(1)
+				continue
+			}
+			for _, ue := range b.plugin.Translate(ev) {
+				p.forward(ue)
+			}
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// Inject translates and forwards one event as if it came from the named
+// attached device; used by scripted scenarios and benchmarks to bypass the
+// device channel (the pump path is exercised by the device simulators).
+func (p *Proxy) Inject(deviceID string, ev RawEvent) error {
+	p.mu.Lock()
+	b, ok := p.inputs[deviceID]
+	active := p.activeIn
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: input %s", ErrUnknownDevice, deviceID)
+	}
+	p.stats.rawEvents.Add(1)
+	if active != deviceID {
+		p.stats.droppedRaw.Add(1)
+		return nil
+	}
+	for _, ue := range b.plugin.Translate(ev) {
+		if err := p.forward(ue); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Proxy) forward(ue UniEvent) error {
+	var err error
+	if ue.IsPointer {
+		err = p.client.SendPointer(ue.Pointer)
+	} else {
+		err = p.client.SendKey(ue.Key)
+	}
+	if err == nil {
+		p.stats.uniSent.Add(1)
+	}
+	return err
+}
+
+// --- output pipeline ---------------------------------------------------------
+
+// proxyHandler adapts the protocol callbacks onto the proxy.
+type proxyHandler struct{ p *Proxy }
+
+var _ rfb.ClientHandler = proxyHandler{}
+
+// Updated implements rfb.ClientHandler: convert the fresh shadow
+// framebuffer for the selected output device, present it, and keep the
+// demand-driven update loop rolling by signalling the re-arm goroutine
+// (classic thin-client viewer behaviour, off the read path).
+func (h proxyHandler) Updated(rects []gfx.Rect) {
+	h.p.presentCurrent()
+	select {
+	case h.p.rearm <- struct{}{}:
+	default: // a re-arm is already pending
+	}
+}
+
+// Bell implements rfb.ClientHandler (ignored).
+func (proxyHandler) Bell() {}
+
+// CutText implements rfb.ClientHandler (ignored).
+func (proxyHandler) CutText(string) {}
+
+// presentCurrent converts the shadow framebuffer with the active output
+// plug-in (and each mirror's plug-in) and delivers the frames.
+func (p *Proxy) presentCurrent() {
+	p.mu.Lock()
+	targets := make([]*outputBinding, 0, 1+len(p.mirrors))
+	if b := p.outputs[p.activeOut]; b != nil {
+		targets = append(targets, b)
+	}
+	for id := range p.mirrors {
+		if id == p.activeOut {
+			continue
+		}
+		if b := p.outputs[id]; b != nil {
+			targets = append(targets, b)
+		}
+	}
+	p.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	frames := make([]Frame, len(targets))
+	p.client.WithFramebuffer(func(fb *gfx.Framebuffer) {
+		for i, b := range targets {
+			frames[i] = b.plugin.Convert(fb)
+		}
+	})
+	for i, b := range targets {
+		frames[i].Seq = b.seq.Add(1)
+		b.dev.Present(frames[i])
+		p.stats.frames.Add(1)
+	}
+}
+
+// RefreshOutput forces a full-frame conversion and presentation without
+// waiting for server damage (used right after attaching a display).
+func (p *Proxy) RefreshOutput() { p.presentCurrent() }

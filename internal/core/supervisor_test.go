@@ -1,0 +1,189 @@
+package core_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"uniint/internal/core"
+	"uniint/internal/device"
+	"uniint/internal/netsim"
+	"uniint/internal/toolkit"
+	"uniint/internal/uniserver"
+)
+
+// supervisedStack runs a server whose dial function hands out fresh
+// shaped links, returning the current link for failure injection.
+type supervisedStack struct {
+	display *toolkit.Display
+	srv     *uniserver.Server
+
+	mu   sync.Mutex
+	link *netsim.Conn
+}
+
+func newSupervisedStack(t *testing.T) *supervisedStack {
+	t.Helper()
+	st := &supervisedStack{
+		display: toolkit.NewDisplay(640, 480),
+	}
+	st.srv = uniserver.New(st.display, "supervised")
+	t.Cleanup(st.srv.Close)
+	return st
+}
+
+// dial is the Supervisor's DialFunc: each call builds a new pipe to the
+// server and remembers the client side for DropLink.
+func (st *supervisedStack) dial() (net.Conn, error) {
+	sc, cc := net.Pipe()
+	go st.srv.HandleConn(sc)
+	link := netsim.Wrap(cc)
+	st.mu.Lock()
+	st.link = link
+	st.mu.Unlock()
+	return link, nil
+}
+
+func (st *supervisedStack) dropLink() {
+	st.mu.Lock()
+	link := st.link
+	st.mu.Unlock()
+	if link != nil {
+		link.DropLink()
+	}
+}
+
+func TestSupervisorReconnectsAndRestores(t *testing.T) {
+	st := newSupervisedStack(t)
+	_, clicks := buttonPanel(st.display, "Lamp")
+
+	sup, err := core.NewSupervisor(st.dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	phone := device.NewPhone("phone-1")
+	tv := device.NewTVDisplay("tv-1")
+	defer phone.Close()
+	if err := sup.AttachInput(phone); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.AttachOutput(tv); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.SelectInput("phone-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.SelectOutput("tv-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Working session before the failure.
+	phone.PressKey("ok")
+	waitCond(t, "click before failure", func() bool { return clicks() == 1 })
+	waitFrames(t, "frame before failure", tv.WaitFrames, 1)
+
+	// The link dies.
+	st.dropLink()
+	waitCond(t, "reconnect", func() bool { return sup.Reconnects() == 1 })
+
+	// The same devices keep working: selection was restored and the
+	// device plug-ins were re-transmitted to the new proxy.
+	deadline := time.Now().Add(2 * time.Second)
+	for clicks() < 2 && time.Now().Before(deadline) {
+		phone.PressKey("ok")
+		time.Sleep(10 * time.Millisecond)
+	}
+	if clicks() < 2 {
+		t.Fatal("input did not survive reconnect")
+	}
+	if sup.Proxy().ActiveInput() != "phone-1" || sup.Proxy().ActiveOutput() != "tv-1" {
+		t.Errorf("selection not restored: in=%q out=%q",
+			sup.Proxy().ActiveInput(), sup.Proxy().ActiveOutput())
+	}
+	if sup.LastError() == nil {
+		t.Error("link failure should be recorded")
+	}
+}
+
+func TestSupervisorSurvivesRepeatedFailures(t *testing.T) {
+	st := newSupervisedStack(t)
+	_, clicks := buttonPanel(st.display, "X")
+
+	sup, err := core.NewSupervisor(st.dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	remote := device.NewRemoteControl("rem-1")
+	defer remote.Close()
+	if err := sup.AttachInput(remote); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.SelectInput("rem-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 1; round <= 3; round++ {
+		st.dropLink()
+		waitCond(t, "reconnect", func() bool { return sup.Reconnects() >= int64(round) })
+	}
+	// Still alive after three failures.
+	before := clicks()
+	deadline := time.Now().Add(2 * time.Second)
+	for clicks() == before && time.Now().Before(deadline) {
+		remote.Press("ok")
+		time.Sleep(10 * time.Millisecond)
+	}
+	if clicks() == before {
+		t.Fatal("session dead after repeated failures")
+	}
+}
+
+func TestSupervisorCloseStopsReconnecting(t *testing.T) {
+	st := newSupervisedStack(t)
+	sup, err := core.NewSupervisor(st.dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Close()
+	sup.Close() // idempotent
+	if err := sup.AttachInput(device.NewPDA("p")); err == nil {
+		t.Error("attach after close should fail")
+	}
+	n := sup.Reconnects()
+	time.Sleep(30 * time.Millisecond)
+	if sup.Reconnects() != n {
+		t.Error("supervisor still reconnecting after close")
+	}
+}
+
+func TestSupervisorWorksOverShapedLink(t *testing.T) {
+	// A constrained home link: 5ms latency. The session stays usable.
+	st := newSupervisedStack(t)
+	_, clicks := buttonPanel(st.display, "X")
+
+	dial := func() (net.Conn, error) {
+		sc, cc := net.Pipe()
+		go st.srv.HandleConn(sc)
+		return netsim.Wrap(cc, netsim.WithLatency(5*time.Millisecond)), nil
+	}
+	sup, err := core.NewSupervisor(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	voice := device.NewVoiceInput("v-1")
+	defer voice.Close()
+	if err := sup.AttachInput(voice); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.SelectInput("v-1"); err != nil {
+		t.Fatal(err)
+	}
+	voice.Say("select")
+	waitCond(t, "click over shaped link", func() bool { return clicks() == 1 })
+}

@@ -1,0 +1,57 @@
+package gfx
+
+import "strings"
+
+// asciiRamp maps luminance (dark→bright) to characters for terminal
+// rendering of frames in the examples and CLI tools.
+const asciiRamp = " .:-=+*#%@"
+
+// Ascii renders fb as ASCII art at most maxW characters wide, preserving
+// aspect ratio (terminal cells are ~2x taller than wide, so vertical
+// resolution is halved).
+func Ascii(fb *Framebuffer, maxW int) string {
+	if fb.W() == 0 || fb.H() == 0 || maxW <= 0 {
+		return ""
+	}
+	w := min(maxW, fb.W())
+	h := fb.H() * w / fb.W() / 2
+	if h < 1 {
+		h = 1
+	}
+	scaled := ScaleBox(fb, w, h)
+	var sb strings.Builder
+	sb.Grow((w + 1) * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			lum := int(scaled.At(x, y).Gray())
+			sb.WriteByte(asciiRamp[lum*(len(asciiRamp)-1)/255])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// AsciiBitmap renders a 1-bit bitmap as ASCII art ('#' for set pixels),
+// used to show the cellular phone's LCD in terminals.
+func AsciiBitmap(b *Bitmap) string {
+	var sb strings.Builder
+	sb.Grow((b.W + 1) * (b.H / 2))
+	for y := 0; y < b.H; y += 2 {
+		for x := 0; x < b.W; x++ {
+			top := b.Get(x, y)
+			bot := b.Get(x, y+1)
+			switch {
+			case top && bot:
+				sb.WriteByte('#')
+			case top:
+				sb.WriteByte('"')
+			case bot:
+				sb.WriteByte(',')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,119 @@
+package gfx
+
+// Damage accumulates dirty rectangles between renders. The toolkit adds a
+// rectangle whenever a widget invalidates itself; the UniInt server flushes
+// the accumulated region into FramebufferUpdate messages on demand (RFB's
+// demand-driven update model).
+//
+// The tracker keeps a small list of disjoint-ish rectangles and merges
+// aggressively once the list grows past a threshold, trading a little
+// over-coverage for bounded bookkeeping — the same trade made by classic
+// thin-client servers.
+type Damage struct {
+	rects  []Rect
+	bounds Rect // clip: rectangles are clipped to this on Add
+	limit  int
+}
+
+// NewDamage creates a tracker clipped to bounds. limit caps the number of
+// distinct rectangles kept before coalescing (values below 1 default to 8).
+func NewDamage(bounds Rect, limit int) *Damage {
+	if limit < 1 {
+		limit = 8
+	}
+	return &Damage{bounds: bounds, limit: limit}
+}
+
+// Add marks r as dirty.
+func (d *Damage) Add(r Rect) {
+	r = r.Intersect(d.bounds)
+	if r.Empty() {
+		return
+	}
+	// Absorb rectangles already covered, and skip the add when covered.
+	for i := 0; i < len(d.rects); i++ {
+		if d.rects[i].ContainsRect(r) {
+			return
+		}
+		if r.ContainsRect(d.rects[i]) {
+			d.rects[i] = d.rects[len(d.rects)-1]
+			d.rects = d.rects[:len(d.rects)-1]
+			i--
+		}
+	}
+	// Merge with an overlapping/adjacent rectangle when the union wastes
+	// little area; otherwise keep it separate.
+	for i, s := range d.rects {
+		u := s.Union(r)
+		if u.Area() <= s.Area()+r.Area() {
+			d.rects[i] = u
+			return
+		}
+	}
+	d.rects = append(d.rects, r)
+	if len(d.rects) > d.limit {
+		d.coalesce()
+	}
+}
+
+// AddAll marks the whole clip bounds dirty.
+func (d *Damage) AddAll() {
+	d.rects = d.rects[:0]
+	if !d.bounds.Empty() {
+		d.rects = append(d.rects, d.bounds)
+	}
+}
+
+// coalesce repeatedly merges the pair of rectangles whose union wastes the
+// least area until the list fits the limit again.
+func (d *Damage) coalesce() {
+	for len(d.rects) > d.limit {
+		bi, bj, bw := 0, 1, int(^uint(0)>>1)
+		for i := 0; i < len(d.rects); i++ {
+			for j := i + 1; j < len(d.rects); j++ {
+				u := d.rects[i].Union(d.rects[j])
+				waste := u.Area() - d.rects[i].Area() - d.rects[j].Area()
+				if waste < bw {
+					bi, bj, bw = i, j, waste
+				}
+			}
+		}
+		d.rects[bi] = d.rects[bi].Union(d.rects[bj])
+		d.rects[bj] = d.rects[len(d.rects)-1]
+		d.rects = d.rects[:len(d.rects)-1]
+	}
+}
+
+// Empty reports whether no damage is pending.
+func (d *Damage) Empty() bool { return len(d.rects) == 0 }
+
+// Bounds returns the union of all pending damage (empty Rect when clean).
+func (d *Damage) Bounds() Rect {
+	var u Rect
+	for _, r := range d.rects {
+		u = u.Union(r)
+	}
+	return u
+}
+
+// Take returns the pending rectangles and resets the tracker. The returned
+// slice is owned by the caller.
+func (d *Damage) Take() []Rect {
+	out := d.rects
+	d.rects = nil
+	return out
+}
+
+// Peek returns a copy of the pending rectangles without resetting.
+func (d *Damage) Peek() []Rect {
+	out := make([]Rect, len(d.rects))
+	copy(out, d.rects)
+	return out
+}
+
+// Resize changes the clip bounds (e.g. after a desktop resize) and marks
+// everything dirty.
+func (d *Damage) Resize(bounds Rect) {
+	d.bounds = bounds
+	d.AddAll()
+}

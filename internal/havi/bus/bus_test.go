@@ -1,0 +1,110 @@
+package bus
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocGUIDUnique(t *testing.T) {
+	b := New()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		g := b.AllocGUID()
+		if seen[g] {
+			t.Fatalf("duplicate guid %x", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestConnectDisconnectTopology(t *testing.T) {
+	b := New()
+	g1, g2 := b.AllocGUID(), b.AllocGUID()
+
+	r := b.Connect(g1)
+	if r.Generation != 1 || len(r.Nodes) != 1 {
+		t.Fatalf("after first connect: %+v", r)
+	}
+	r = b.Connect(g2)
+	if r.Generation != 2 || len(r.Nodes) != 2 {
+		t.Fatalf("after second connect: %+v", r)
+	}
+	// Phy ids are 0-based and dense.
+	for i, n := range r.Nodes {
+		if n.Phy != i {
+			t.Errorf("node %d phy = %d", i, n.Phy)
+		}
+	}
+	if !b.Connected(g1) || !b.Connected(g2) {
+		t.Error("connected query wrong")
+	}
+
+	r = b.Disconnect(g1)
+	if r.Generation != 3 || len(r.Nodes) != 1 || r.Nodes[0].GUID != g2 {
+		t.Fatalf("after disconnect: %+v", r)
+	}
+	if b.Connected(g1) {
+		t.Error("g1 should be gone")
+	}
+	// Disconnecting an absent device does not reset.
+	r = b.Disconnect(g1)
+	if r.Generation != 3 {
+		t.Errorf("no-op disconnect bumped generation to %d", r.Generation)
+	}
+}
+
+func TestResetListeners(t *testing.T) {
+	b := New()
+	var mu sync.Mutex
+	var gens []int
+	id := b.OnReset(func(r Reset) {
+		mu.Lock()
+		gens = append(gens, r.Generation)
+		mu.Unlock()
+	})
+	g := b.AllocGUID()
+	b.Connect(g)
+	b.Disconnect(g)
+	b.RemoveListener(id)
+	b.Connect(g)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(gens) != 2 || gens[0] != 1 || gens[1] != 2 {
+		t.Errorf("gens = %v", gens)
+	}
+}
+
+func TestReconnectSameGUIDTriggersReset(t *testing.T) {
+	b := New()
+	g := b.AllocGUID()
+	b.Connect(g)
+	r := b.Connect(g) // cable re-seat
+	if r.Generation != 2 || len(r.Nodes) != 1 {
+		t.Errorf("re-seat: %+v", r)
+	}
+}
+
+func TestConcurrentBusOps(t *testing.T) {
+	b := New()
+	guids := make([]uint64, 32)
+	for i := range guids {
+		guids[i] = b.AllocGUID()
+	}
+	var wg sync.WaitGroup
+	for _, g := range guids {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				b.Connect(g)
+				b.Disconnect(g)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(b.Nodes()) != 0 {
+		t.Errorf("nodes left: %d", len(b.Nodes()))
+	}
+}

@@ -1,0 +1,98 @@
+package havi
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ControlKind classifies a DDI (data-driven interaction) element. HAVi's
+// level-1 user interface works exactly this way: an FCM publishes abstract
+// control descriptors and a controller renders them with its own widgets —
+// which is how the home appliance application auto-generates control
+// panels for whatever appliances are currently reachable.
+type ControlKind int
+
+// DDI element kinds.
+const (
+	// ControlToggle is a two-state switch (power, mute).
+	ControlToggle ControlKind = iota + 1
+	// ControlRange is a bounded integer value (volume, channel, target
+	// temperature).
+	ControlRange
+	// ControlAction is a momentary command (play, stop, eject).
+	ControlAction
+	// ControlReadout is a read-only value (tape counter, room temp).
+	ControlReadout
+	// ControlSelect is a choice among Options (input source).
+	ControlSelect
+)
+
+// String returns the kind's DDI name.
+func (k ControlKind) String() string {
+	switch k {
+	case ControlToggle:
+		return "toggle"
+	case ControlRange:
+		return "range"
+	case ControlAction:
+		return "action"
+	case ControlReadout:
+		return "readout"
+	case ControlSelect:
+		return "select"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Control is one DDI element of an FCM's control surface.
+type Control struct {
+	ID      string      `json:"id"`
+	Label   string      `json:"label"`
+	Kind    ControlKind `json:"kind"`
+	Min     int         `json:"min,omitempty"`
+	Max     int         `json:"max,omitempty"`
+	Step    int         `json:"step,omitempty"`
+	Init    int         `json:"init,omitempty"`
+	Options []string    `json:"options,omitempty"`
+}
+
+// Validate checks descriptor consistency.
+func (c Control) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("havi: control without id")
+	}
+	switch c.Kind {
+	case ControlToggle, ControlAction, ControlReadout:
+	case ControlRange:
+		if c.Max < c.Min {
+			return fmt.Errorf("havi: control %q: max %d < min %d", c.ID, c.Max, c.Min)
+		}
+	case ControlSelect:
+		if len(c.Options) == 0 {
+			return fmt.Errorf("havi: control %q: select without options", c.ID)
+		}
+	default:
+		return fmt.Errorf("havi: control %q: unknown kind %d", c.ID, int(c.Kind))
+	}
+	return nil
+}
+
+// MarshalControls encodes a DDI control list for transport in a Message's
+// Data field.
+func MarshalControls(cs []Control) ([]byte, error) {
+	b, err := json.Marshal(cs)
+	if err != nil {
+		return nil, fmt.Errorf("havi: marshal controls: %w", err)
+	}
+	return b, nil
+}
+
+// UnmarshalControls decodes a DDI control list from a Message's Data field.
+func UnmarshalControls(b []byte) ([]Control, error) {
+	var cs []Control
+	if err := json.Unmarshal(b, &cs); err != nil {
+		return nil, fmt.Errorf("havi: unmarshal controls: %w", err)
+	}
+	return cs, nil
+}

@@ -1,0 +1,84 @@
+package havi
+
+import "sync"
+
+// dispatcher is a single-worker FIFO executor shared by the asynchronous
+// paths of the message system, registry watches and event manager. A single
+// ordered queue gives the whole middleware a deterministic delivery order,
+// and WaitIdle gives tests and benchmarks a quiescence point.
+type dispatcher struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	pending int // queued + currently executing
+	closed  bool
+	done    chan struct{}
+}
+
+func newDispatcher() *dispatcher {
+	d := &dispatcher{done: make(chan struct{})}
+	d.cond = sync.NewCond(&d.mu)
+	go d.run()
+	return d
+}
+
+func (d *dispatcher) run() {
+	defer close(d.done)
+	for {
+		d.mu.Lock()
+		for len(d.queue) == 0 && !d.closed {
+			d.cond.Wait()
+		}
+		if d.closed && len(d.queue) == 0 {
+			d.mu.Unlock()
+			return
+		}
+		fn := d.queue[0]
+		d.queue = d.queue[1:]
+		d.mu.Unlock()
+
+		fn()
+
+		d.mu.Lock()
+		d.pending--
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}
+}
+
+// post enqueues fn; returns false when the dispatcher is closed.
+func (d *dispatcher) post(fn func()) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	d.queue = append(d.queue, fn)
+	d.pending++
+	d.cond.Broadcast()
+	return true
+}
+
+// waitIdle blocks until every posted function has finished executing.
+// Functions posted while waiting are also waited for.
+func (d *dispatcher) waitIdle() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.pending > 0 {
+		d.cond.Wait()
+	}
+}
+
+// stop drains the queue and terminates the worker.
+func (d *dispatcher) stop() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		<-d.done
+		return
+	}
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	<-d.done
+}

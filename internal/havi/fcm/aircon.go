@@ -1,0 +1,71 @@
+package fcm
+
+import "uniint/internal/havi"
+
+// Air conditioner control ids.
+const (
+	AirconTarget = "target"
+	AirconMode   = "mode"
+	AirconFan    = "fan"
+	AirconSwing  = "swing"
+	AirconRoom   = "room"
+)
+
+// Aircon modes and fan speeds.
+var (
+	AirconModes = []string{"cool", "heat", "dry", "fan"}
+	AirconFans  = []string{"auto", "low", "med", "high"}
+)
+
+// Aircon mode values.
+const (
+	ModeCool = iota
+	ModeHeat
+	ModeDry
+	ModeFan
+)
+
+// Target temperature bounds (degrees Celsius).
+const (
+	AirconMinTarget = 16
+	AirconMaxTarget = 30
+)
+
+// NewAircon builds an air-conditioner FCM. Room temperature is a readout
+// driven by TickAircon's first-order thermal model.
+func NewAircon() *havi.BaseFCM {
+	f := mustFCM(havi.NewBaseFCM("aircon", []havi.Control{
+		{ID: CtlPower, Label: "Power", Kind: havi.ControlToggle},
+		{ID: AirconTarget, Label: "Target C", Kind: havi.ControlRange,
+			Min: AirconMinTarget, Max: AirconMaxTarget, Init: 24},
+		{ID: AirconMode, Label: "Mode", Kind: havi.ControlSelect, Options: AirconModes},
+		{ID: AirconFan, Label: "Fan", Kind: havi.ControlSelect, Options: AirconFans},
+		{ID: AirconSwing, Label: "Swing", Kind: havi.ControlToggle},
+		{ID: AirconRoom, Label: "Room C", Kind: havi.ControlReadout, Init: 28},
+	}))
+	f.SetHooks(
+		func(f *havi.BaseFCM, id string, v int) error { return requirePower(f, id) },
+		nil,
+	)
+	return f
+}
+
+// TickAircon advances the thermal simulation one time unit: when powered
+// and in cool/heat mode, room temperature moves one degree toward the
+// target; otherwise it drifts one degree toward the ambient 28C.
+func TickAircon(f *havi.BaseFCM) {
+	room, _ := f.Get(AirconRoom)
+	power, _ := f.Get(CtlPower)
+	mode, _ := f.Get(AirconMode)
+	goal := 28 // ambient drift when off or in dry/fan mode
+	if power == 1 && (mode == ModeCool || mode == ModeHeat) {
+		goal, _ = f.Get(AirconTarget)
+	}
+	switch {
+	case room < goal:
+		room++
+	case room > goal:
+		room--
+	}
+	f.SetInternal(AirconRoom, room)
+}

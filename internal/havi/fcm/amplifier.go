@@ -1,0 +1,40 @@
+package fcm
+
+import "uniint/internal/havi"
+
+// Amplifier control ids.
+const (
+	AmpVolume  = "volume"
+	AmpMute    = "mute"
+	AmpInput   = "input"
+	AmpBalance = "balance"
+)
+
+// AmpInputs are the selectable input sources.
+var AmpInputs = []string{"tv", "vcr", "tuner", "aux"}
+
+// NewAmplifier builds an audio amplifier FCM: volume, mute, input
+// selection and balance, all gated on power.
+func NewAmplifier() *havi.BaseFCM {
+	f := mustFCM(havi.NewBaseFCM("amplifier", []havi.Control{
+		{ID: CtlPower, Label: "Power", Kind: havi.ControlToggle},
+		{ID: AmpVolume, Label: "Volume", Kind: havi.ControlRange, Min: 0, Max: 100, Init: 30},
+		{ID: AmpMute, Label: "Mute", Kind: havi.ControlToggle},
+		{ID: AmpInput, Label: "Input", Kind: havi.ControlSelect, Options: AmpInputs},
+		{ID: AmpBalance, Label: "Balance", Kind: havi.ControlRange, Min: -10, Max: 10},
+	}))
+	f.SetHooks(
+		func(f *havi.BaseFCM, id string, v int) error {
+			if err := requirePower(f, id); err != nil {
+				return err
+			}
+			// Raising the volume cancels mute, like real hardware.
+			if id == AmpVolume && v > f.GetLocked(AmpVolume) {
+				f.SetLockedInternal(AmpMute, 0)
+			}
+			return nil
+		},
+		nil,
+	)
+	return f
+}

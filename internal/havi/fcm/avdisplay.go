@@ -1,0 +1,29 @@
+package fcm
+
+import "uniint/internal/havi"
+
+// AV display control ids.
+const (
+	DisplayBrightness = "brightness"
+	DisplayContrast   = "contrast"
+	DisplaySource     = "source"
+)
+
+// DisplaySources are the selectable video inputs.
+var DisplaySources = []string{"tuner", "vcr", "aux"}
+
+// NewAVDisplay builds the display FCM of a television: picture controls
+// and source selection, gated on power.
+func NewAVDisplay() *havi.BaseFCM {
+	f := mustFCM(havi.NewBaseFCM("display", []havi.Control{
+		{ID: CtlPower, Label: "Power", Kind: havi.ControlToggle},
+		{ID: DisplayBrightness, Label: "Bright", Kind: havi.ControlRange, Min: 0, Max: 100, Init: 50},
+		{ID: DisplayContrast, Label: "Contrast", Kind: havi.ControlRange, Min: 0, Max: 100, Init: 50},
+		{ID: DisplaySource, Label: "Source", Kind: havi.ControlSelect, Options: DisplaySources},
+	}))
+	f.SetHooks(
+		func(f *havi.BaseFCM, id string, v int) error { return requirePower(f, id) },
+		nil,
+	)
+	return f
+}

@@ -1,0 +1,57 @@
+package fcm
+
+import "uniint/internal/havi"
+
+// Clock control ids.
+const (
+	ClockHour     = "hour"
+	ClockMinute   = "minute"
+	ClockAlarmOn  = "alarm_on"
+	ClockAlarmHr  = "alarm_hour"
+	ClockAlarmMin = "alarm_minute"
+	ClockRinging  = "ringing"
+)
+
+// NewClock builds a clock FCM: time readouts advanced by TickClock, plus
+// a settable alarm. The ringing readout goes to 1 when the alarm fires
+// and is cleared by disabling the alarm.
+func NewClock() *havi.BaseFCM {
+	f := mustFCM(havi.NewBaseFCM("clock", []havi.Control{
+		{ID: ClockHour, Label: "Hour", Kind: havi.ControlReadout},
+		{ID: ClockMinute, Label: "Min", Kind: havi.ControlReadout},
+		{ID: ClockAlarmOn, Label: "Alarm", Kind: havi.ControlToggle},
+		{ID: ClockAlarmHr, Label: "Alarm H", Kind: havi.ControlRange, Min: 0, Max: 23, Init: 7},
+		{ID: ClockAlarmMin, Label: "Alarm M", Kind: havi.ControlRange, Min: 0, Max: 59},
+		{ID: ClockRinging, Label: "Ringing", Kind: havi.ControlReadout},
+	}))
+	f.SetHooks(
+		func(f *havi.BaseFCM, id string, v int) error {
+			if id == ClockAlarmOn && v == 0 {
+				f.SetLockedInternal(ClockRinging, 0)
+			}
+			return nil
+		},
+		nil,
+	)
+	return f
+}
+
+// TickClock advances the clock one minute and fires the alarm when the
+// time matches.
+func TickClock(f *havi.BaseFCM) {
+	h, _ := f.Get(ClockHour)
+	m, _ := f.Get(ClockMinute)
+	m++
+	if m >= 60 {
+		m = 0
+		h = (h + 1) % 24
+	}
+	f.SetInternal(ClockMinute, m)
+	f.SetInternal(ClockHour, h)
+	on, _ := f.Get(ClockAlarmOn)
+	ah, _ := f.Get(ClockAlarmHr)
+	am, _ := f.Get(ClockAlarmMin)
+	if on == 1 && h == ah && m == am {
+		f.SetInternal(ClockRinging, 1)
+	}
+}

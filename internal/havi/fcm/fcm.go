@@ -1,0 +1,33 @@
+// Package fcm provides the concrete functional component modules (FCMs)
+// used by the appliance simulators: tuner, VCR transport, amplifier, AV
+// display, air conditioner, lamp and clock. Each is a havi.BaseFCM
+// configured with a DDI control surface and state-machine hooks enforcing
+// the appliance's semantics (a VCR will not play without a tape; nothing
+// but power can be changed while a device is off).
+package fcm
+
+import "uniint/internal/havi"
+
+// Control ids shared by several FCM kinds.
+const (
+	CtlPower = "power"
+)
+
+// requirePower is a set-hook fragment: every control except power itself
+// requires the device to be on.
+func requirePower(f *havi.BaseFCM, id string) error {
+	if id != CtlPower && f.GetLocked(CtlPower) == 0 {
+		return havi.ErrRejected
+	}
+	return nil
+}
+
+// mustFCM panics on descriptor construction errors. Descriptors in this
+// package are compile-time constants, so a failure is a programming error
+// caught by the package's own tests.
+func mustFCM(f *havi.BaseFCM, err error) *havi.BaseFCM {
+	if err != nil {
+		panic("fcm: invalid built-in descriptor: " + err.Error())
+	}
+	return f
+}

@@ -1,0 +1,369 @@
+package fcm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"uniint/internal/havi"
+)
+
+func TestAllDescriptorsValid(t *testing.T) {
+	// Construction panics on invalid descriptors; building each kind is
+	// the validation.
+	builders := map[string]func() *havi.BaseFCM{
+		"tuner": NewTuner, "vcr": NewVCR, "amplifier": NewAmplifier,
+		"display": NewAVDisplay, "aircon": NewAircon, "lamp": NewLamp,
+		"clock": NewClock,
+	}
+	for kind, build := range builders {
+		f := build()
+		if f.Kind() != kind {
+			t.Errorf("kind = %q, want %q", f.Kind(), kind)
+		}
+		for _, c := range f.Controls() {
+			if err := c.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", kind, c.ID, err)
+			}
+		}
+	}
+}
+
+func TestPowerGating(t *testing.T) {
+	for _, build := range []func() *havi.BaseFCM{NewTuner, NewAmplifier, NewAVDisplay, NewAircon, NewLamp} {
+		f := build()
+		// Find a settable non-power control.
+		for _, c := range f.Controls() {
+			if c.ID == CtlPower || (c.Kind != havi.ControlRange && c.Kind != havi.ControlSelect && c.Kind != havi.ControlToggle) {
+				continue
+			}
+			v := c.Min
+			if err := f.Set(c.ID, v); !errors.Is(err, havi.ErrRejected) {
+				t.Errorf("%s.%s set while off = %v, want ErrRejected", f.Kind(), c.ID, err)
+			}
+			if err := f.Set(CtlPower, 1); err != nil {
+				t.Fatalf("%s power on: %v", f.Kind(), err)
+			}
+			if err := f.Set(c.ID, v); err != nil {
+				t.Errorf("%s.%s set while on = %v", f.Kind(), c.ID, err)
+			}
+			break
+		}
+	}
+}
+
+func TestTunerScanWraps(t *testing.T) {
+	f := NewTuner()
+	if err := f.Set(CtlPower, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set(TunerChannel, TunerMaxChannel); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Do(TunerScanUp); err != nil {
+		t.Fatal(err)
+	}
+	if ch, _ := f.Get(TunerChannel); ch != TunerMinChannel {
+		t.Errorf("scan up from max = %d", ch)
+	}
+	if err := f.Do(TunerScanDown); err != nil {
+		t.Fatal(err)
+	}
+	if ch, _ := f.Get(TunerChannel); ch != TunerMaxChannel {
+		t.Errorf("scan down from min = %d", ch)
+	}
+}
+
+func TestTunerSignalTracksTuning(t *testing.T) {
+	f := NewTuner()
+	f.Set(CtlPower, 1)
+	f.Set(TunerChannel, 10)
+	s10, _ := f.Get(TunerSignal)
+	if want := signalFor(10, 0); s10 != want {
+		t.Errorf("signal = %d, want %d", s10, want)
+	}
+	f.Set(TunerBand, 2)
+	s10c, _ := f.Get(TunerSignal)
+	if want := signalFor(10, 2); s10c != want {
+		t.Errorf("signal after band change = %d, want %d", s10c, want)
+	}
+	// Signal is a deterministic function.
+	prop := func(ch uint8, band uint8) bool {
+		c := int(ch%99) + 1
+		b := int(band % 3)
+		s := signalFor(c, b)
+		return s >= 0 && s <= 100 && s == signalFor(c, b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTunerScanRequiresPower(t *testing.T) {
+	f := NewTuner()
+	if err := f.Do(TunerScanUp); !errors.Is(err, havi.ErrRejected) {
+		t.Errorf("scan while off = %v", err)
+	}
+}
+
+func TestVCRTransportStateMachine(t *testing.T) {
+	f := NewVCR()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	reject := func(err error) {
+		t.Helper()
+		if !errors.Is(err, havi.ErrRejected) {
+			t.Fatalf("want ErrRejected, got %v", err)
+		}
+	}
+	state := func() int { v, _ := f.Get(VCRTransport); return v }
+
+	// Everything rejected while off.
+	reject(f.Do(VCRPlay))
+	must(f.Set(CtlPower, 1))
+	// No tape: transport commands rejected, load allowed.
+	reject(f.Do(VCRPlay))
+	reject(f.Do(VCRRecord))
+	reject(f.Do(VCREject))
+	must(f.Do(VCRLoad))
+	reject(f.Do(VCRLoad)) // double load
+	// Play.
+	must(f.Do(VCRPlay))
+	if state() != TransportPlay {
+		t.Fatalf("state = %d", state())
+	}
+	// Pause from play.
+	must(f.Do(VCRPause))
+	if state() != TransportPause {
+		t.Fatalf("state = %d", state())
+	}
+	// Record from pause is allowed; record from play is not.
+	must(f.Do(VCRRecord))
+	if state() != TransportRecord {
+		t.Fatalf("state = %d", state())
+	}
+	must(f.Do(VCRPlay))
+	reject(f.Do(VCRRecord))
+	// Pause only from play/record.
+	must(f.Do(VCRStop))
+	reject(f.Do(VCRPause))
+	// Eject stops and removes tape.
+	must(f.Do(VCRPlay))
+	must(f.Do(VCREject))
+	if state() != TransportStop {
+		t.Fatalf("state after eject = %d", state())
+	}
+	if tape, _ := f.Get(VCRTape); tape != 0 {
+		t.Fatal("tape still present after eject")
+	}
+	// Power off stops the transport.
+	must(f.Do(VCRLoad))
+	must(f.Do(VCRPlay))
+	must(f.Set(CtlPower, 0))
+	if state() != TransportStop {
+		t.Fatalf("state after power off = %d", state())
+	}
+}
+
+func TestVCRTickCounterAndTapeEnds(t *testing.T) {
+	f := NewVCR()
+	f.Set(CtlPower, 1)
+	f.Do(VCRLoad)
+	f.Do(VCRPlay)
+	for i := 0; i < 10; i++ {
+		TickVCR(f)
+	}
+	if c, _ := f.Get(VCRCounter); c != 10 {
+		t.Errorf("counter = %d", c)
+	}
+	// Fast-forward to the end of the tape.
+	f.Do(VCRFastFwd)
+	for i := 0; i < VCRTapeLength; i++ {
+		TickVCR(f)
+	}
+	if c, _ := f.Get(VCRCounter); c != VCRTapeLength {
+		t.Errorf("counter at end = %d", c)
+	}
+	if s, _ := f.Get(VCRTransport); s != TransportStop {
+		t.Error("deck should stop at tape end")
+	}
+	// Rewind to the start.
+	f.Do(VCRRewind)
+	for i := 0; i < VCRTapeLength; i++ {
+		TickVCR(f)
+	}
+	if c, _ := f.Get(VCRCounter); c != 0 {
+		t.Errorf("counter at start = %d", c)
+	}
+	if s, _ := f.Get(VCRTransport); s != TransportStop {
+		t.Error("deck should stop at tape start")
+	}
+	// Tick does nothing while powered off.
+	f.Set(CtlPower, 0)
+	TickVCR(f)
+	if c, _ := f.Get(VCRCounter); c != 0 {
+		t.Error("tick advanced counter while off")
+	}
+}
+
+func TestAmplifierVolumeUpUnmutes(t *testing.T) {
+	f := NewAmplifier()
+	f.Set(CtlPower, 1)
+	f.Set(AmpMute, 1)
+	f.Set(AmpVolume, 50)
+	if m, _ := f.Get(AmpMute); m != 0 {
+		t.Error("raising volume should cancel mute")
+	}
+	// Lowering the volume keeps mute.
+	f.Set(AmpMute, 1)
+	f.Set(AmpVolume, 10)
+	if m, _ := f.Get(AmpMute); m != 1 {
+		t.Error("lowering volume should keep mute")
+	}
+}
+
+func TestAirconThermalModel(t *testing.T) {
+	f := NewAircon()
+	room := func() int { v, _ := f.Get(AirconRoom); return v }
+	start := room()
+	// Off: drifts toward ambient 28.
+	for i := 0; i < 40; i++ {
+		TickAircon(f)
+	}
+	if room() != 28 {
+		t.Errorf("ambient drift: room = %d (start %d)", room(), start)
+	}
+	// Cooling toward 20.
+	f.Set(CtlPower, 1)
+	f.Set(AirconMode, ModeCool)
+	f.Set(AirconTarget, 20)
+	for i := 0; i < 40; i++ {
+		TickAircon(f)
+	}
+	if room() != 20 {
+		t.Errorf("cooling: room = %d", room())
+	}
+	// Fan mode does not hold the temperature: drifts back to 28.
+	f.Set(AirconMode, ModeFan)
+	for i := 0; i < 40; i++ {
+		TickAircon(f)
+	}
+	if room() != 28 {
+		t.Errorf("fan mode drift: room = %d", room())
+	}
+}
+
+func TestClockTickAndAlarm(t *testing.T) {
+	f := NewClock()
+	f.Set(ClockAlarmOn, 1)
+	f.Set(ClockAlarmHr, 0)
+	f.Set(ClockAlarmMin, 2)
+	TickClock(f) // 00:01
+	if r, _ := f.Get(ClockRinging); r != 0 {
+		t.Error("alarm fired early")
+	}
+	TickClock(f) // 00:02
+	if r, _ := f.Get(ClockRinging); r != 1 {
+		t.Error("alarm did not fire")
+	}
+	// Disabling the alarm clears ringing.
+	f.Set(ClockAlarmOn, 0)
+	if r, _ := f.Get(ClockRinging); r != 0 {
+		t.Error("ringing not cleared")
+	}
+	// Midnight rollover.
+	f2 := NewClock()
+	for i := 0; i < 24*60; i++ {
+		TickClock(f2)
+	}
+	h, _ := f2.Get(ClockHour)
+	m, _ := f2.Get(ClockMinute)
+	if h != 0 || m != 0 {
+		t.Errorf("after 24h: %02d:%02d", h, m)
+	}
+}
+
+func TestLampDimming(t *testing.T) {
+	f := NewLamp()
+	if err := f.Set(LampLevel, 50); !errors.Is(err, havi.ErrRejected) {
+		t.Errorf("dim while off = %v", err)
+	}
+	f.Set(CtlPower, 1)
+	if err := f.Set(LampLevel, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set(LampLevel, 0); !errors.Is(err, havi.ErrBadValue) {
+		t.Errorf("level 0 = %v", err)
+	}
+}
+
+func TestVCRTimerRecording(t *testing.T) {
+	deck := NewVCR()
+	clock := NewClock()
+	deck.Set(CtlPower, 1)
+	deck.Do(VCRLoad)
+	// Program a recording at 00:03 and power the deck down.
+	deck.Set(VCRTimerHr, 0)
+	deck.Set(VCRTimerMin, 3)
+	deck.Set(VCRTimerOn, 1)
+	deck.Set(CtlPower, 0)
+
+	step := func() { TickClock(clock); CheckVCRTimer(deck, clock); TickVCR(deck) }
+	step() // 00:01
+	step() // 00:02
+	if st, _ := deck.Get(VCRTransport); st != TransportStop {
+		t.Fatal("recording started early")
+	}
+	step() // 00:03 — timer fires
+	if p, _ := deck.Get(CtlPower); p != 1 {
+		t.Fatal("timer should power the deck on")
+	}
+	if st, _ := deck.Get(VCRTransport); st != TransportRecord {
+		t.Fatalf("transport = %d, want record", st)
+	}
+	if on, _ := deck.Get(VCRTimerOn); on != 0 {
+		t.Fatal("timer should disarm after firing")
+	}
+	// The tape is moving on subsequent ticks.
+	before, _ := deck.Get(VCRCounter)
+	step()
+	after, _ := deck.Get(VCRCounter)
+	if after != before+1 {
+		t.Errorf("counter %d -> %d", before, after)
+	}
+}
+
+func TestVCRTimerNeedsTape(t *testing.T) {
+	deck := NewVCR()
+	clock := NewClock()
+	deck.Set(CtlPower, 1)
+	deck.Set(VCRTimerMin, 1) // 00:01
+	deck.Set(VCRTimerOn, 1)
+	TickClock(clock) // 00:01, no tape
+	CheckVCRTimer(deck, clock)
+	if st, _ := deck.Get(VCRTransport); st != TransportStop {
+		t.Fatal("recorded without a tape")
+	}
+	if on, _ := deck.Get(VCRTimerOn); on != 1 {
+		t.Fatal("timer should stay armed when the slot is missed")
+	}
+}
+
+func TestVCRTimerDoesNotInterruptPlayback(t *testing.T) {
+	deck := NewVCR()
+	clock := NewClock()
+	deck.Set(CtlPower, 1)
+	deck.Do(VCRLoad)
+	deck.Do(VCRPlay)
+	deck.Set(VCRTimerMin, 1)
+	deck.Set(VCRTimerOn, 1)
+	TickClock(clock) // 00:01 while playing
+	CheckVCRTimer(deck, clock)
+	if st, _ := deck.Get(VCRTransport); st != TransportPlay {
+		t.Fatal("timer interrupted playback")
+	}
+}

@@ -1,0 +1,22 @@
+package fcm
+
+import "uniint/internal/havi"
+
+// Lamp control ids.
+const (
+	LampLevel = "level"
+)
+
+// NewLamp builds a dimmable lamp FCM — the simplest appliance in the
+// house, and the one the quickstart example toggles.
+func NewLamp() *havi.BaseFCM {
+	f := mustFCM(havi.NewBaseFCM("lamp", []havi.Control{
+		{ID: CtlPower, Label: "Power", Kind: havi.ControlToggle},
+		{ID: LampLevel, Label: "Level", Kind: havi.ControlRange, Min: 1, Max: 100, Init: 100},
+	}))
+	f.SetHooks(
+		func(f *havi.BaseFCM, id string, v int) error { return requirePower(f, id) },
+		nil,
+	)
+	return f
+}

@@ -1,0 +1,85 @@
+package fcm
+
+import "uniint/internal/havi"
+
+// Tuner control ids.
+const (
+	TunerChannel  = "channel"
+	TunerBand     = "band"
+	TunerScanUp   = "scan_up"
+	TunerScanDown = "scan_down"
+	TunerSignal   = "signal"
+)
+
+// Tuner channel bounds.
+const (
+	TunerMinChannel = 1
+	TunerMaxChannel = 99
+)
+
+// TunerBands are the selectable frequency bands.
+var TunerBands = []string{"vhf", "uhf", "cable"}
+
+// NewTuner builds a TV/radio tuner FCM. Scanning wraps around the channel
+// range; the signal readout is a deterministic function of channel and
+// band, standing in for real RF reception.
+func NewTuner() *havi.BaseFCM {
+	f := mustFCM(havi.NewBaseFCM("tuner", []havi.Control{
+		{ID: CtlPower, Label: "Power", Kind: havi.ControlToggle},
+		{ID: TunerChannel, Label: "Channel", Kind: havi.ControlRange,
+			Min: TunerMinChannel, Max: TunerMaxChannel, Init: TunerMinChannel},
+		{ID: TunerBand, Label: "Band", Kind: havi.ControlSelect, Options: TunerBands},
+		{ID: TunerScanUp, Label: "Scan +", Kind: havi.ControlAction},
+		{ID: TunerScanDown, Label: "Scan -", Kind: havi.ControlAction},
+		{ID: TunerSignal, Label: "Signal", Kind: havi.ControlReadout},
+	}))
+	f.SetHooks(
+		func(f *havi.BaseFCM, id string, v int) error {
+			if err := requirePower(f, id); err != nil {
+				return err
+			}
+			if id == TunerChannel || id == TunerBand {
+				ch, band := f.GetLocked(TunerChannel), f.GetLocked(TunerBand)
+				if id == TunerChannel {
+					ch = v
+				} else {
+					band = v
+				}
+				f.SetLockedInternal(TunerSignal, signalFor(ch, band))
+			}
+			return nil
+		},
+		func(f *havi.BaseFCM, id string) error {
+			if f.GetLocked(CtlPower) == 0 {
+				return havi.ErrRejected
+			}
+			ch := f.GetLocked(TunerChannel)
+			switch id {
+			case TunerScanUp:
+				ch++
+				if ch > TunerMaxChannel {
+					ch = TunerMinChannel
+				}
+			case TunerScanDown:
+				ch--
+				if ch < TunerMinChannel {
+					ch = TunerMaxChannel
+				}
+			}
+			f.SetLockedInternal(TunerChannel, ch)
+			f.SetLockedInternal(TunerSignal, signalFor(ch, f.GetLocked(TunerBand)))
+			return nil
+		},
+	)
+	return f
+}
+
+// signalFor is the synthetic reception model: a deterministic pseudo-random
+// strength in 0..100 so that benchmarks and tests are reproducible.
+func signalFor(channel, band int) int {
+	x := uint32(channel*2654435761) ^ uint32(band*40503)
+	x ^= x >> 13
+	x *= 0x5bd1e995
+	x ^= x >> 15
+	return int(x % 101)
+}

@@ -1,0 +1,188 @@
+package fcm
+
+import "uniint/internal/havi"
+
+// VCR control ids.
+const (
+	VCRTransport = "transport"
+	VCRCounter   = "counter"
+	VCRTape      = "tape"
+	VCRPlay      = "play"
+	VCRStop      = "stop"
+	VCRRecord    = "record"
+	VCRPause     = "pause"
+	VCRRewind    = "rewind"
+	VCRFastFwd   = "fastfwd"
+	VCREject     = "eject"
+	VCRLoad      = "load"
+	// Timer-recording controls: when the timer is armed and the deck's
+	// clock reaches the programmed time, the deck starts recording
+	// (appliance.VCR wires the clock to CheckVCRTimer).
+	VCRTimerOn  = "timer_on"
+	VCRTimerHr  = "timer_hour"
+	VCRTimerMin = "timer_minute"
+)
+
+// Transport states (values of the VCRTransport readout).
+const (
+	TransportStop = iota
+	TransportPlay
+	TransportRecord
+	TransportPause
+	TransportRewind
+	TransportFastFwd
+)
+
+// TransportNames label the transport readout values.
+var TransportNames = []string{"stop", "play", "record", "pause", "rewind", "fastfwd"}
+
+// Tape length in counter units.
+const VCRTapeLength = 9999
+
+// NewVCR builds a VCR transport FCM with the full deck state machine:
+// transport commands require power and (except eject/load) a loaded tape;
+// pause is only reachable from play or record; eject stops the transport.
+func NewVCR() *havi.BaseFCM {
+	f := mustFCM(havi.NewBaseFCM("vcr", []havi.Control{
+		{ID: CtlPower, Label: "Power", Kind: havi.ControlToggle},
+		{ID: VCRTransport, Label: "Transport", Kind: havi.ControlReadout, Options: TransportNames},
+		{ID: VCRCounter, Label: "Counter", Kind: havi.ControlReadout},
+		{ID: VCRTape, Label: "Tape", Kind: havi.ControlReadout},
+		{ID: VCRPlay, Label: "Play", Kind: havi.ControlAction},
+		{ID: VCRStop, Label: "Stop", Kind: havi.ControlAction},
+		{ID: VCRRecord, Label: "Rec", Kind: havi.ControlAction},
+		{ID: VCRPause, Label: "Pause", Kind: havi.ControlAction},
+		{ID: VCRRewind, Label: "Rew", Kind: havi.ControlAction},
+		{ID: VCRFastFwd, Label: "FF", Kind: havi.ControlAction},
+		{ID: VCREject, Label: "Eject", Kind: havi.ControlAction},
+		{ID: VCRLoad, Label: "Load", Kind: havi.ControlAction},
+		{ID: VCRTimerOn, Label: "Timer", Kind: havi.ControlToggle},
+		{ID: VCRTimerHr, Label: "Rec H", Kind: havi.ControlRange, Min: 0, Max: 23},
+		{ID: VCRTimerMin, Label: "Rec M", Kind: havi.ControlRange, Min: 0, Max: 59},
+	}))
+	f.SetHooks(
+		func(f *havi.BaseFCM, id string, v int) error {
+			if err := requirePower(f, id); err != nil {
+				return err
+			}
+			// Powering off stops the transport.
+			if id == CtlPower && v == 0 {
+				f.SetLockedInternal(VCRTransport, TransportStop)
+			}
+			return nil
+		},
+		func(f *havi.BaseFCM, id string) error {
+			if f.GetLocked(CtlPower) == 0 {
+				return havi.ErrRejected
+			}
+			tape := f.GetLocked(VCRTape) == 1
+			state := f.GetLocked(VCRTransport)
+			switch id {
+			case VCRLoad:
+				if tape {
+					return havi.ErrRejected
+				}
+				f.SetLockedInternal(VCRTape, 1)
+				f.SetLockedInternal(VCRCounter, 0)
+				return nil
+			case VCREject:
+				if !tape {
+					return havi.ErrRejected
+				}
+				f.SetLockedInternal(VCRTransport, TransportStop)
+				f.SetLockedInternal(VCRTape, 0)
+				return nil
+			case VCRStop:
+				f.SetLockedInternal(VCRTransport, TransportStop)
+				return nil
+			}
+			if !tape {
+				return havi.ErrRejected
+			}
+			switch id {
+			case VCRPlay:
+				f.SetLockedInternal(VCRTransport, TransportPlay)
+			case VCRRecord:
+				if state != TransportStop && state != TransportPause {
+					return havi.ErrRejected
+				}
+				f.SetLockedInternal(VCRTransport, TransportRecord)
+			case VCRPause:
+				if state != TransportPlay && state != TransportRecord {
+					return havi.ErrRejected
+				}
+				f.SetLockedInternal(VCRTransport, TransportPause)
+			case VCRRewind:
+				f.SetLockedInternal(VCRTransport, TransportRewind)
+			case VCRFastFwd:
+				f.SetLockedInternal(VCRTransport, TransportFastFwd)
+			}
+			return nil
+		},
+	)
+	return f
+}
+
+// CheckVCRTimer implements timer recording: when the deck's timer is
+// armed and the clock FCM shows the programmed time, the deck powers on
+// (if needed), starts recording and disarms the timer. Recording only
+// starts with a tape present and the transport stopped or paused — a
+// deck already playing keeps playing and the timer stays armed until the
+// transport is free (real decks retry within the minute).
+func CheckVCRTimer(deck, clock *havi.BaseFCM) {
+	on, _ := deck.Get(VCRTimerOn)
+	if on != 1 {
+		return
+	}
+	th, _ := deck.Get(VCRTimerHr)
+	tm, _ := deck.Get(VCRTimerMin)
+	h, _ := clock.Get(ClockHour)
+	m, _ := clock.Get(ClockMinute)
+	if h != th || m != tm {
+		return
+	}
+	if tape, _ := deck.Get(VCRTape); tape != 1 {
+		return // nothing to record onto; stay armed (and miss the slot)
+	}
+	if st, _ := deck.Get(VCRTransport); st != TransportStop && st != TransportPause {
+		return
+	}
+	deck.SetInternal(CtlPower, 1)
+	deck.SetInternal(VCRTransport, TransportRecord)
+	deck.SetInternal(VCRTimerOn, 0)
+}
+
+// TickVCR advances the simulated tape mechanism by one time unit: the
+// counter moves according to the transport state, and hitting either end
+// of the tape stops the deck. Appliance simulators call this from their
+// clock loop.
+func TickVCR(f *havi.BaseFCM) {
+	if v, err := f.Get(CtlPower); err != nil || v == 0 {
+		return
+	}
+	state, _ := f.Get(VCRTransport)
+	counter, _ := f.Get(VCRCounter)
+	var d int
+	switch state {
+	case TransportPlay, TransportRecord:
+		d = 1
+	case TransportFastFwd:
+		d = 25
+	case TransportRewind:
+		d = -25
+	default:
+		return
+	}
+	counter += d
+	stopped := false
+	if counter <= 0 {
+		counter, stopped = 0, true
+	}
+	if counter >= VCRTapeLength {
+		counter, stopped = VCRTapeLength, true
+	}
+	f.SetInternal(VCRCounter, counter)
+	if stopped {
+		f.SetInternal(VCRTransport, TransportStop)
+	}
+}

@@ -1,0 +1,325 @@
+// Package stream implements the HAVi stream manager: the middleware
+// service that establishes logical audio/video connections between
+// functional components (a tuner sourcing a broadcast into a display, a
+// VCR recording the tuner's output) over the shared home bus.
+//
+// The paper's prototype is integrated with the authors' HAVi home
+// computing system for audio/visual appliances (Nakajima, Middleware
+// 2001); control panels start and stop exactly these streams. The manager
+// models the architectural surface: typed endpoints, per-connection
+// bandwidth reservation against the bus budget, connection lifecycle, and
+// automatic teardown when a device leaves the bus.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"uniint/internal/havi"
+)
+
+// MediaType classifies a stream payload.
+type MediaType int
+
+// Media types.
+const (
+	Audio MediaType = iota + 1
+	Video
+	AV // multiplexed audio+video
+)
+
+// String returns the lowercase media name.
+func (m MediaType) String() string {
+	switch m {
+	case Audio:
+		return "audio"
+	case Video:
+		return "video"
+	case AV:
+		return "av"
+	default:
+		return fmt.Sprintf("media(%d)", int(m))
+	}
+}
+
+// Endpoint describes one streaming plug of an FCM, registered by the
+// appliance when it joins.
+type Endpoint struct {
+	SEID   havi.SEID
+	Plug   int  // plug index on the element (an FCM may have several)
+	Output bool // true = source plug, false = sink plug
+	Media  MediaType
+}
+
+func (e Endpoint) key() endpointKey {
+	return endpointKey{seid: e.SEID, plug: e.Plug, output: e.Output}
+}
+
+type endpointKey struct {
+	seid   havi.SEID
+	plug   int
+	output bool
+}
+
+// ConnectionID names an established stream.
+type ConnectionID int
+
+// Connection is one established stream between a source and a sink plug.
+type Connection struct {
+	ID        ConnectionID
+	Source    Endpoint
+	Sink      Endpoint
+	Media     MediaType
+	Bandwidth int // reserved units
+}
+
+// Errors returned by the stream manager.
+var (
+	ErrUnknownEndpoint   = errors.New("stream: unknown endpoint")
+	ErrDirectionMismatch = errors.New("stream: endpoint direction mismatch")
+	ErrMediaMismatch     = errors.New("stream: media type mismatch")
+	ErrBusy              = errors.New("stream: endpoint already connected")
+	ErrBandwidth         = errors.New("stream: insufficient bus bandwidth")
+	ErrUnknownConnection = errors.New("stream: unknown connection")
+)
+
+// Event types posted by the manager.
+const (
+	// EventStreamStarted fires after a connection is established.
+	// Value = connection id.
+	EventStreamStarted = "stream.started"
+	// EventStreamStopped fires after a connection is dropped.
+	// Value = connection id, Str = reason ("drop" or "device detached").
+	EventStreamStopped = "stream.stopped"
+)
+
+// Manager is the stream manager for one home network.
+type Manager struct {
+	events *havi.EventManager
+
+	mu        sync.Mutex
+	capacity  int // total bus bandwidth units (e.g. 1394 isochronous budget)
+	reserved  int
+	endpoints map[endpointKey]Endpoint
+	inUse     map[endpointKey]ConnectionID
+	conns     map[ConnectionID]Connection
+	nextID    ConnectionID
+}
+
+// NewManager creates a stream manager over the network's event manager,
+// with the given total bus bandwidth budget (units are abstract; the
+// classic 1394 budget is ~80% of 125 µs cycles, modeled here as 100).
+// The manager subscribes to device-detached events to tear down streams
+// whose endpoints leave the bus.
+func NewManager(net *havi.Network, capacity int) *Manager {
+	if capacity < 1 {
+		capacity = 100
+	}
+	m := &Manager{
+		events:    net.Events(),
+		capacity:  capacity,
+		endpoints: make(map[endpointKey]Endpoint),
+		inUse:     make(map[endpointKey]ConnectionID),
+		conns:     make(map[ConnectionID]Connection),
+	}
+	net.Events().Subscribe(havi.EventDeviceDetached, func(ev havi.Event) {
+		m.dropDevice(ev.Source.GUID)
+	})
+	return m
+}
+
+// RegisterEndpoint announces a streaming plug. Re-registration replaces
+// the previous descriptor.
+func (m *Manager) RegisterEndpoint(e Endpoint) error {
+	if e.SEID.Zero() {
+		return fmt.Errorf("%w: zero SEID", ErrUnknownEndpoint)
+	}
+	if e.Media == 0 {
+		return fmt.Errorf("%w: endpoint without media type", ErrMediaMismatch)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.endpoints[e.key()] = e
+	return nil
+}
+
+// UnregisterEndpoint withdraws a plug; an active connection through it is
+// dropped.
+func (m *Manager) UnregisterEndpoint(e Endpoint) {
+	m.mu.Lock()
+	id, active := m.inUse[e.key()]
+	delete(m.endpoints, e.key())
+	m.mu.Unlock()
+	if active {
+		_ = m.Drop(id)
+	}
+}
+
+// Endpoints lists registered endpoints, sorted for determinism.
+func (m *Manager) Endpoints() []Endpoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Endpoint, 0, len(m.endpoints))
+	for _, e := range m.endpoints {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.SEID.GUID != b.SEID.GUID {
+			return a.SEID.GUID < b.SEID.GUID
+		}
+		if a.SEID.Handle != b.SEID.Handle {
+			return a.SEID.Handle < b.SEID.Handle
+		}
+		if a.Plug != b.Plug {
+			return a.Plug < b.Plug
+		}
+		return a.Output && !b.Output
+	})
+	return out
+}
+
+// Connect establishes a stream from source to sink, reserving bandwidth
+// units against the bus budget. Both endpoints must be registered, free,
+// directionally correct, and media-compatible (AV sinks accept any
+// media; otherwise types must match).
+func (m *Manager) Connect(source, sink Endpoint, bandwidth int) (Connection, error) {
+	if bandwidth < 1 {
+		bandwidth = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	src, ok := m.endpoints[source.key()]
+	if !ok {
+		return Connection{}, fmt.Errorf("%w: source %s/%d", ErrUnknownEndpoint, source.SEID, source.Plug)
+	}
+	snk, ok := m.endpoints[sink.key()]
+	if !ok {
+		return Connection{}, fmt.Errorf("%w: sink %s/%d", ErrUnknownEndpoint, sink.SEID, sink.Plug)
+	}
+	if !src.Output || snk.Output {
+		return Connection{}, ErrDirectionMismatch
+	}
+	// Compatible when the types match, the sink is AV (it demuxes), or
+	// the source is AV (the sink consumes its component). Only pure
+	// audio↔video pairings are rejected.
+	if src.Media != snk.Media && src.Media != AV && snk.Media != AV {
+		return Connection{}, fmt.Errorf("%w: %s -> %s", ErrMediaMismatch, src.Media, snk.Media)
+	}
+	if _, busy := m.inUse[src.key()]; busy {
+		return Connection{}, fmt.Errorf("%w: source %s/%d", ErrBusy, src.SEID, src.Plug)
+	}
+	if _, busy := m.inUse[snk.key()]; busy {
+		return Connection{}, fmt.Errorf("%w: sink %s/%d", ErrBusy, snk.SEID, snk.Plug)
+	}
+	if m.reserved+bandwidth > m.capacity {
+		return Connection{}, fmt.Errorf("%w: %d requested, %d of %d free",
+			ErrBandwidth, bandwidth, m.capacity-m.reserved, m.capacity)
+	}
+
+	m.nextID++
+	conn := Connection{
+		ID:        m.nextID,
+		Source:    src,
+		Sink:      snk,
+		Media:     src.Media,
+		Bandwidth: bandwidth,
+	}
+	m.conns[conn.ID] = conn
+	m.inUse[src.key()] = conn.ID
+	m.inUse[snk.key()] = conn.ID
+	m.reserved += bandwidth
+
+	m.events.Post(havi.Event{
+		Type: EventStreamStarted, Source: src.SEID, Value: int(conn.ID),
+		Str: conn.Media.String(),
+	})
+	return conn, nil
+}
+
+// Drop tears a connection down and releases its bandwidth.
+func (m *Manager) Drop(id ConnectionID) error {
+	return m.drop(id, "drop")
+}
+
+func (m *Manager) drop(id ConnectionID, reason string) error {
+	m.mu.Lock()
+	conn, ok := m.conns[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownConnection, id)
+	}
+	delete(m.conns, id)
+	delete(m.inUse, conn.Source.key())
+	delete(m.inUse, conn.Sink.key())
+	m.reserved -= conn.Bandwidth
+	m.mu.Unlock()
+
+	m.events.Post(havi.Event{
+		Type: EventStreamStopped, Source: conn.Source.SEID,
+		Value: int(id), Str: reason,
+	})
+	return nil
+}
+
+// dropDevice tears down every connection touching a device that left the
+// bus, and forgets its endpoints.
+func (m *Manager) dropDevice(guid havi.GUID) {
+	m.mu.Lock()
+	var doomed []ConnectionID
+	for id, c := range m.conns {
+		if c.Source.SEID.GUID == guid || c.Sink.SEID.GUID == guid {
+			doomed = append(doomed, id)
+		}
+	}
+	for k := range m.endpoints {
+		if k.seid.GUID == guid {
+			delete(m.endpoints, k)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i] < doomed[j] })
+	for _, id := range doomed {
+		_ = m.drop(id, "device detached")
+	}
+}
+
+// Connections lists active connections sorted by id.
+func (m *Manager) Connections() []Connection {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Connection, 0, len(m.conns))
+	for _, c := range m.conns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ConnectionFor returns the active connection using the endpoint, if any.
+func (m *Manager) ConnectionFor(e Endpoint) (Connection, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.inUse[e.key()]
+	if !ok {
+		return Connection{}, false
+	}
+	return m.conns[id], true
+}
+
+// Available returns the unreserved bus bandwidth.
+func (m *Manager) Available() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.capacity - m.reserved
+}
+
+// Reserved returns the currently reserved bandwidth.
+func (m *Manager) Reserved() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reserved
+}

@@ -1,0 +1,243 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"uniint/internal/appliance"
+	"uniint/internal/havi"
+)
+
+// rig builds a home with a TV and a VCR and registers the natural
+// endpoints: tuner video out, display video in, VCR AV in (record) and
+// AV out (playback).
+type rig struct {
+	home    *appliance.Home
+	mgr     *Manager
+	tunerO  Endpoint
+	dispI   Endpoint
+	vcrIn   Endpoint
+	vcrOut  Endpoint
+	tvGUID  havi.GUID
+	vcrGUID havi.GUID
+	tv      *appliance.TV
+	vcr     *appliance.VCR
+}
+
+func newRig(t *testing.T, capacity int) *rig {
+	t.Helper()
+	home := appliance.NewHome()
+	t.Cleanup(home.Close)
+	tv := appliance.NewTV("TV")
+	vcr := appliance.NewVCR("VCR")
+	tvGUID, err := home.Add(tv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcrGUID, err := home.Add(vcr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home.Network().WaitIdle()
+
+	mgr := NewManager(home.Network(), capacity)
+	r := &rig{
+		home: home, mgr: mgr, tv: tv, vcr: vcr,
+		tvGUID: tvGUID, vcrGUID: vcrGUID,
+		tunerO: Endpoint{SEID: tv.Tuner().SEID(), Plug: 0, Output: true, Media: Video},
+		dispI:  Endpoint{SEID: tv.Display().SEID(), Plug: 0, Output: false, Media: Video},
+		vcrIn:  Endpoint{SEID: vcr.Deck().SEID(), Plug: 0, Output: false, Media: AV},
+		vcrOut: Endpoint{SEID: vcr.Deck().SEID(), Plug: 1, Output: true, Media: AV},
+	}
+	for _, e := range []Endpoint{r.tunerO, r.dispI, r.vcrIn, r.vcrOut} {
+		if err := mgr.RegisterEndpoint(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestConnectTunerToDisplay(t *testing.T) {
+	r := newRig(t, 100)
+	conn, err := r.mgr.Connect(r.tunerO, r.dispI, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Media != Video || conn.Bandwidth != 30 {
+		t.Errorf("conn = %+v", conn)
+	}
+	if r.mgr.Reserved() != 30 || r.mgr.Available() != 70 {
+		t.Errorf("reserved/available = %d/%d", r.mgr.Reserved(), r.mgr.Available())
+	}
+	if got := r.mgr.Connections(); len(got) != 1 || got[0].ID != conn.ID {
+		t.Errorf("connections = %+v", got)
+	}
+	if c, ok := r.mgr.ConnectionFor(r.tunerO); !ok || c.ID != conn.ID {
+		t.Error("ConnectionFor(source) failed")
+	}
+	if err := r.mgr.Drop(conn.ID); err != nil {
+		t.Fatal(err)
+	}
+	if r.mgr.Reserved() != 0 || len(r.mgr.Connections()) != 0 {
+		t.Error("drop did not release resources")
+	}
+	if err := r.mgr.Drop(conn.ID); !errors.Is(err, ErrUnknownConnection) {
+		t.Errorf("double drop = %v", err)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	r := newRig(t, 100)
+	// Unknown endpoints.
+	ghost := Endpoint{SEID: havi.SEID{GUID: 999, Handle: 9}, Output: true, Media: Video}
+	if _, err := r.mgr.Connect(ghost, r.dispI, 1); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Errorf("unknown source = %v", err)
+	}
+	if _, err := r.mgr.Connect(r.tunerO, ghost, 1); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Errorf("unknown sink = %v", err)
+	}
+	// Direction: sink as source.
+	if _, err := r.mgr.Connect(r.dispI, r.tunerO, 1); !errors.Is(err, ErrDirectionMismatch) {
+		t.Errorf("direction = %v", err)
+	}
+	// Media: audio-only sink cannot take video.
+	audioSink := Endpoint{SEID: r.tv.Speaker().SEID(), Plug: 0, Output: false, Media: Audio}
+	if err := r.mgr.RegisterEndpoint(audioSink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.mgr.Connect(r.tunerO, audioSink, 1); !errors.Is(err, ErrMediaMismatch) {
+		t.Errorf("media = %v", err)
+	}
+	// AV sink accepts video (the VCR records the tuner).
+	if _, err := r.mgr.Connect(r.tunerO, r.vcrIn, 10); err != nil {
+		t.Errorf("av sink should accept video: %v", err)
+	}
+}
+
+func TestEndpointExclusivity(t *testing.T) {
+	r := newRig(t, 100)
+	if _, err := r.mgr.Connect(r.tunerO, r.dispI, 10); err != nil {
+		t.Fatal(err)
+	}
+	// The tuner's output plug is busy: recording it too must fail.
+	if _, err := r.mgr.Connect(r.tunerO, r.vcrIn, 10); !errors.Is(err, ErrBusy) {
+		t.Errorf("busy source = %v", err)
+	}
+	// Playback to the busy display must fail.
+	if _, err := r.mgr.Connect(r.vcrOut, r.dispI, 10); !errors.Is(err, ErrBusy) {
+		t.Errorf("busy sink = %v", err)
+	}
+}
+
+func TestBandwidthAdmission(t *testing.T) {
+	r := newRig(t, 50)
+	if _, err := r.mgr.Connect(r.tunerO, r.dispI, 40); err != nil {
+		t.Fatal(err)
+	}
+	// Only 10 units left: a 20-unit stream is refused.
+	if _, err := r.mgr.Connect(r.vcrOut, r.vcrIn, 20); !errors.Is(err, ErrBandwidth) {
+		t.Errorf("admission = %v", err)
+	}
+	// A 10-unit playback into the VCR's own record plug is directionally
+	// and media-wise fine, and fits.
+	if _, err := r.mgr.Connect(r.vcrOut, r.vcrIn, 10); err != nil {
+		t.Errorf("fitting stream refused: %v", err)
+	}
+	if r.mgr.Available() != 0 {
+		t.Errorf("available = %d", r.mgr.Available())
+	}
+}
+
+func TestDeviceDetachTearsDownStreams(t *testing.T) {
+	r := newRig(t, 100)
+	conn, err := r.mgr.Connect(r.tunerO, r.vcrIn, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var stopped []havi.Event
+	r.home.Network().Events().Subscribe(EventStreamStopped, func(ev havi.Event) {
+		mu.Lock()
+		stopped = append(stopped, ev)
+		mu.Unlock()
+	})
+
+	// Unplug the VCR: the recording stream must die and its bandwidth
+	// must come back.
+	r.home.Remove(r.vcr)
+	r.home.Network().WaitIdle()
+
+	if len(r.mgr.Connections()) != 0 {
+		t.Fatal("stream survived device detach")
+	}
+	if r.mgr.Reserved() != 0 {
+		t.Errorf("reserved = %d", r.mgr.Reserved())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stopped) != 1 || stopped[0].Value != int(conn.ID) || stopped[0].Str != "device detached" {
+		t.Errorf("stopped events = %+v", stopped)
+	}
+	// The detached device's endpoints are forgotten.
+	if _, err := r.mgr.Connect(r.vcrOut, r.dispI, 1); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Errorf("stale endpoint usable: %v", err)
+	}
+	// The TV's endpoints survive.
+	if _, err := r.mgr.Connect(r.tunerO, r.dispI, 1); err != nil {
+		t.Errorf("surviving endpoints broken: %v", err)
+	}
+}
+
+func TestStreamEvents(t *testing.T) {
+	r := newRig(t, 100)
+	var mu sync.Mutex
+	counts := map[string]int{}
+	for _, typ := range []string{EventStreamStarted, EventStreamStopped} {
+		typ := typ
+		r.home.Network().Events().Subscribe(typ, func(havi.Event) {
+			mu.Lock()
+			counts[typ]++
+			mu.Unlock()
+		})
+	}
+	conn, err := r.mgr.Connect(r.tunerO, r.dispI, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Drop(conn.ID); err != nil {
+		t.Fatal(err)
+	}
+	r.home.Network().WaitIdle()
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[EventStreamStarted] != 1 || counts[EventStreamStopped] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestUnregisterEndpointDropsConnection(t *testing.T) {
+	r := newRig(t, 100)
+	if _, err := r.mgr.Connect(r.tunerO, r.dispI, 5); err != nil {
+		t.Fatal(err)
+	}
+	r.mgr.UnregisterEndpoint(r.dispI)
+	if len(r.mgr.Connections()) != 0 {
+		t.Error("connection survived endpoint unregistration")
+	}
+	if got := len(r.mgr.Endpoints()); got != 3 {
+		t.Errorf("endpoints = %d", got)
+	}
+}
+
+func TestEndpointsSorted(t *testing.T) {
+	r := newRig(t, 100)
+	eps := r.mgr.Endpoints()
+	for i := 1; i < len(eps); i++ {
+		a, b := eps[i-1], eps[i]
+		if a.SEID.GUID > b.SEID.GUID {
+			t.Fatal("endpoints not sorted by GUID")
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package netsim provides transport simulation for testing the universal
+// interaction stack under realistic home-network conditions: added
+// latency, bandwidth caps and injected link failures over any net.Conn.
+//
+// The paper's devices talk over early-2000s home links (802.11b, HomeRF,
+// 1394 bridges); the experiments in EXPERIMENTS.md use in-process pipes
+// for determinism, while the failure-injection tests use this package to
+// prove the session-continuity machinery (core.Supervisor).
+package netsim
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Conn wraps a net.Conn with simulated link properties. The zero
+// Latency/Throughput leave the respective property unshaped.
+type Conn struct {
+	inner net.Conn
+
+	latency    time.Duration
+	throughput int // bytes per second, 0 = unlimited
+
+	dropped atomic.Bool
+}
+
+// Option configures a simulated link.
+type Option func(*Conn)
+
+// WithLatency adds a fixed one-way delay to every write.
+func WithLatency(d time.Duration) Option {
+	return func(c *Conn) { c.latency = d }
+}
+
+// WithThroughput caps the link at bytesPerSecond by delaying writes
+// according to their serialization time.
+func WithThroughput(bytesPerSecond int) Option {
+	return func(c *Conn) { c.throughput = bytesPerSecond }
+}
+
+// Wrap shapes an existing connection.
+func Wrap(inner net.Conn, opts ...Option) *Conn {
+	c := &Conn{inner: inner}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Pipe returns an in-process connection pair with both directions shaped
+// by the same options.
+func Pipe(opts ...Option) (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return Wrap(a, opts...), Wrap(b, opts...)
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) { return c.inner.Read(p) }
+
+// Write implements net.Conn, applying latency and serialization delay
+// before forwarding.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.dropped.Load() {
+		return 0, net.ErrClosed
+	}
+	delay := c.latency
+	if c.throughput > 0 {
+		delay += time.Duration(int64(len(p)) * int64(time.Second) / int64(c.throughput))
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return c.inner.Write(p)
+}
+
+// DropLink simulates an abrupt link failure: both directions error from
+// now on and the inner transport closes.
+func (c *Conn) DropLink() {
+	if c.dropped.Swap(true) {
+		return
+	}
+	c.inner.Close()
+}
+
+// Dropped reports whether the link has failed.
+func (c *Conn) Dropped() bool { return c.dropped.Load() }
+
+// Close implements net.Conn.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

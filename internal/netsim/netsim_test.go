@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPassthrough(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("got %q", buf)
+	}
+}
+
+func TestLatencyShaping(t *testing.T) {
+	a, b := Pipe(WithLatency(20 * time.Millisecond))
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	go a.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestThroughputShaping(t *testing.T) {
+	// 10 KB/s: a 1000-byte write should take ~100ms of serialization.
+	a, b := Pipe(WithThroughput(10_000))
+	defer a.Close()
+	defer b.Close()
+	payload := make([]byte, 1000)
+	start := time.Now()
+	go a.Write(payload)
+	buf := make([]byte, 1000)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("throughput cap not applied: %v", elapsed)
+	}
+}
+
+func TestDropLink(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	a.DropLink()
+	if !a.Dropped() {
+		t.Fatal("link should report dropped")
+	}
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Error("write after drop should fail")
+	}
+	// The peer's reads fail too (inner transport closed).
+	buf := make([]byte, 1)
+	if _, err := b.Read(buf); err == nil {
+		t.Error("peer read after drop should fail")
+	}
+	a.DropLink() // idempotent
+}
+
+func TestConnInterface(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	var _ net.Conn = a
+	if a.LocalAddr() == nil || a.RemoteAddr() == nil {
+		t.Error("addresses should pass through")
+	}
+	if err := a.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Errorf("deadline: %v", err)
+	}
+}

@@ -1,0 +1,410 @@
+package rfb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"uniint/internal/gfx"
+)
+
+// ClientHandler receives server-to-client traffic after it has been applied
+// to the client's shadow framebuffer. The UniInt proxy implements this to
+// feed its output-conversion pipeline. Methods run on the Run goroutine.
+type ClientHandler interface {
+	// Updated is called after rects have been painted into the shadow
+	// framebuffer. Use ClientConn.WithFramebuffer to read pixels.
+	Updated(rects []gfx.Rect)
+	// Bell is called when the server rings the bell.
+	Bell()
+	// CutText delivers server clipboard text.
+	CutText(text string)
+}
+
+// ClientConn is the proxy end of a universal interaction connection: it
+// maintains a shadow of the server's framebuffer and forwards universal
+// input events upstream.
+type ClientConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	fmu     sync.Mutex // guards fb and the format table
+	fb      *gfx.Framebuffer
+	pfGen   uint8                     // generation of the last requested format
+	pfByGen map[uint8]gfx.PixelFormat // decode formats by generation tag
+
+	name string
+
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+	updatesRecv   atomic.Int64
+}
+
+// Dial performs the client side of the handshake over conn. On return the
+// shadow framebuffer is allocated with the server's geometry.
+func Dial(conn net.Conn) (*ClientConn, error) {
+	c := &ClientConn{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, 16<<10),
+		pfByGen: map[uint8]gfx.PixelFormat{0: gfx.PF32()},
+	}
+	if err := c.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *ClientConn) handshake() error {
+	ver := make([]byte, len(ProtocolVersion))
+	if _, err := io.ReadFull(c.br, ver); err != nil {
+		return fmt.Errorf("read server version: %w", err)
+	}
+	if string(ver) != ProtocolVersion {
+		return ErrBadVersion
+	}
+	if err := writeAll(c.bw, []byte(ProtocolVersion)); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	sec, err := readU32(c.br)
+	if err != nil {
+		return fmt.Errorf("read security: %w", err)
+	}
+	if sec != secNone {
+		return ErrBadSecurity
+	}
+	// ClientInit: request shared session.
+	if err := writeU8(c.bw, 1); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	w, err := readU16(c.br)
+	if err != nil {
+		return err
+	}
+	h, err := readU16(c.br)
+	if err != nil {
+		return err
+	}
+	pf, err := readPixelFormat(c.br)
+	if err != nil {
+		return err
+	}
+	nameLen, err := readU32(c.br)
+	if err != nil {
+		return err
+	}
+	if nameLen > 1<<16 {
+		return fmt.Errorf("rfb: desktop name of %d bytes: %w", nameLen, ErrBadMessage)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(c.br, name); err != nil {
+		return err
+	}
+	c.fb = gfx.NewFramebuffer(int(w), int(h))
+	c.pfByGen[0] = pf
+	c.name = string(name)
+	return nil
+}
+
+// Name returns the desktop name announced by the server.
+func (c *ClientConn) Name() string { return c.name }
+
+// Size returns the server framebuffer geometry.
+func (c *ClientConn) Size() (w, h int) {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return c.fb.W(), c.fb.H()
+}
+
+// WithFramebuffer runs fn with the shadow framebuffer locked. fn must not
+// retain the pointer or call back into the connection.
+func (c *ClientConn) WithFramebuffer(fn func(fb *gfx.Framebuffer)) {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	fn(c.fb)
+}
+
+// Snapshot returns a copy of the region r of the shadow framebuffer.
+func (c *ClientConn) Snapshot(r gfx.Rect) *gfx.Framebuffer {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return c.fb.SubImage(r)
+}
+
+// BytesSent returns the total bytes written to the server.
+func (c *ClientConn) BytesSent() int64 { return c.bytesSent.Load() }
+
+// BytesReceived returns the total bytes read from the server.
+func (c *ClientConn) BytesReceived() int64 { return c.bytesReceived.Load() }
+
+// UpdatesReceived returns the number of FramebufferUpdate messages applied.
+func (c *ClientConn) UpdatesReceived() int64 { return c.updatesRecv.Load() }
+
+// Close tears down the transport; Run will return afterwards.
+func (c *ClientConn) Close() error { return c.conn.Close() }
+
+// SetPixelFormat asks the server to ship subsequent updates in pf. The
+// switch is safe mid-stream: every FramebufferUpdate carries the
+// generation of the format it was encoded under, so in-flight updates
+// still decode with the format they were produced with.
+func (c *ClientConn) SetPixelFormat(pf gfx.PixelFormat) error {
+	if !pf.Valid() {
+		return fmt.Errorf("rfb: invalid pixel format: %w", ErrBadMessage)
+	}
+	// Register the next generation before the message can possibly be
+	// answered.
+	c.fmu.Lock()
+	c.pfGen++
+	c.pfByGen[c.pfGen] = pf
+	// Prune stale generations; only a handful can be in flight at once.
+	// Generation 0 (the ServerInit format) is kept as the fallback.
+	for g := range c.pfByGen {
+		if g != 0 && c.pfGen-g > 16 {
+			delete(c.pfByGen, g)
+		}
+	}
+	c.fmu.Unlock()
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := writeU8(c.bw, msgSetPixelFormat); err != nil {
+		return err
+	}
+	if err := writeAll(c.bw, []byte{0, 0, 0}); err != nil {
+		return err
+	}
+	if err := writePixelFormat(c.bw, pf); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	c.bytesSent.Add(20)
+	return nil
+}
+
+// formatFor resolves the decode format for an update's generation tag,
+// falling back to the most recently requested format. Caller holds fmu.
+func (c *ClientConn) formatFor(gen uint8) gfx.PixelFormat {
+	if pf, ok := c.pfByGen[gen]; ok {
+		return pf
+	}
+	if pf, ok := c.pfByGen[c.pfGen]; ok {
+		return pf
+	}
+	return gfx.PF32()
+}
+
+// SetEncodings advertises the encodings the proxy can decode, in
+// preference order.
+func (c *ClientConn) SetEncodings(encs []int32) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := writeU8(c.bw, msgSetEncodings); err != nil {
+		return err
+	}
+	if err := writeU8(c.bw, 0); err != nil {
+		return err
+	}
+	if err := writeU16(c.bw, uint16(len(encs))); err != nil {
+		return err
+	}
+	for _, e := range encs {
+		if err := writeU32(c.bw, uint32(e)); err != nil {
+			return err
+		}
+	}
+	c.bytesSent.Add(int64(4 + 4*len(encs)))
+	return c.bw.Flush()
+}
+
+// RequestUpdate demands framebuffer contents for region r. With
+// incremental true, the server may send only what changed.
+func (c *ClientConn) RequestUpdate(incremental bool, r gfx.Rect) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var b [10]byte
+	b[0] = msgFramebufferRequest
+	if incremental {
+		b[1] = 1
+	}
+	be.PutUint16(b[2:], uint16(r.X))
+	be.PutUint16(b[4:], uint16(r.Y))
+	be.PutUint16(b[6:], uint16(r.W))
+	be.PutUint16(b[8:], uint16(r.H))
+	if err := writeAll(c.bw, b[:]); err != nil {
+		return err
+	}
+	c.bytesSent.Add(10)
+	return c.bw.Flush()
+}
+
+// SendKey forwards a universal keyboard event to the server.
+func (c *ClientConn) SendKey(ev KeyEvent) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var b [8]byte
+	b[0] = msgKeyEvent
+	if ev.Down {
+		b[1] = 1
+	}
+	be.PutUint32(b[4:], ev.Key)
+	if err := writeAll(c.bw, b[:]); err != nil {
+		return err
+	}
+	c.bytesSent.Add(8)
+	return c.bw.Flush()
+}
+
+// SendPointer forwards a universal pointer event to the server.
+func (c *ClientConn) SendPointer(ev PointerEvent) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var b [6]byte
+	b[0] = msgPointerEvent
+	b[1] = ev.Buttons
+	be.PutUint16(b[2:], ev.X)
+	be.PutUint16(b[4:], ev.Y)
+	if err := writeAll(c.bw, b[:]); err != nil {
+		return err
+	}
+	c.bytesSent.Add(6)
+	return c.bw.Flush()
+}
+
+// SendCutText ships clipboard text to the server.
+func (c *ClientConn) SendCutText(text string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := writeU8(c.bw, msgClientCutText); err != nil {
+		return err
+	}
+	if err := writeAll(c.bw, []byte{0, 0, 0}); err != nil {
+		return err
+	}
+	if err := writeU32(c.bw, uint32(len(text))); err != nil {
+		return err
+	}
+	if err := writeAll(c.bw, []byte(text)); err != nil {
+		return err
+	}
+	c.bytesSent.Add(int64(8 + len(text)))
+	return c.bw.Flush()
+}
+
+// Run reads server messages until the connection fails, applying updates
+// to the shadow framebuffer and notifying h. It always returns a non-nil
+// error; io.EOF means orderly shutdown.
+func (c *ClientConn) Run(h ClientHandler) error {
+	for {
+		t, err := readU8(c.br)
+		if err != nil {
+			return err
+		}
+		c.bytesReceived.Add(1)
+		switch t {
+		case msgFramebufferUpdate:
+			gen, err := readU8(c.br) // format generation in the pad byte
+			if err != nil {
+				return err
+			}
+			n, err := readU16(c.br)
+			if err != nil {
+				return err
+			}
+			c.bytesReceived.Add(3)
+			rects := make([]gfx.Rect, 0, n)
+			c.fmu.Lock()
+			pf := c.formatFor(gen)
+			for i := 0; i < int(n); i++ {
+				var hdr [12]byte
+				if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+					c.fmu.Unlock()
+					return err
+				}
+				r := gfx.R(
+					int(be.Uint16(hdr[0:])), int(be.Uint16(hdr[2:])),
+					int(be.Uint16(hdr[4:])), int(be.Uint16(hdr[6:])),
+				)
+				enc := int32(be.Uint32(hdr[8:]))
+				c.bytesReceived.Add(12)
+				if enc == EncCopyRect {
+					var src [4]byte
+					if _, err := io.ReadFull(c.br, src[:]); err != nil {
+						c.fmu.Unlock()
+						return err
+					}
+					c.bytesReceived.Add(4)
+					c.fb.CopyRect(r.X, r.Y, gfx.R(
+						int(be.Uint16(src[0:])), int(be.Uint16(src[2:])), r.W, r.H))
+				} else {
+					cr := &countReader{r: c.br}
+					if err := decodeRect(cr, enc, c.fb, r, pf); err != nil {
+						c.fmu.Unlock()
+						return err
+					}
+					c.bytesReceived.Add(cr.n)
+				}
+				rects = append(rects, r)
+			}
+			c.fmu.Unlock()
+			c.updatesRecv.Add(1)
+			if h != nil {
+				h.Updated(rects)
+			}
+
+		case msgBell:
+			if h != nil {
+				h.Bell()
+			}
+
+		case msgServerCutText:
+			if _, err := io.ReadFull(c.br, make([]byte, 3)); err != nil {
+				return err
+			}
+			n, err := readU32(c.br)
+			if err != nil {
+				return err
+			}
+			if n > 1<<20 {
+				return fmt.Errorf("rfb: cut text of %d bytes: %w", n, ErrBadMessage)
+			}
+			txt := make([]byte, n)
+			if _, err := io.ReadFull(c.br, txt); err != nil {
+				return err
+			}
+			c.bytesReceived.Add(int64(7 + n))
+			if h != nil {
+				h.CutText(string(txt))
+			}
+
+		default:
+			return fmt.Errorf("rfb: unknown server message %d: %w", t, ErrBadMessage)
+		}
+	}
+}
+
+// countReader counts bytes flowing through it.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

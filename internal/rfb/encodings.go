@@ -1,0 +1,389 @@
+package rfb
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+
+	"uniint/internal/gfx"
+)
+
+// encodeRect serializes the pixels of fb inside r using the given encoding
+// and appends the wire bytes to dst. The rectangle header is NOT included.
+func encodeRect(dst []byte, enc int32, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) ([]byte, error) {
+	switch enc {
+	case EncRaw:
+		return encodeRaw(dst, fb, r, pf), nil
+	case EncRRE:
+		return encodeRRE(dst, fb, r, pf), nil
+	case EncHextile:
+		return encodeHextile(dst, fb, r, pf), nil
+	case EncZlib:
+		return encodeZlib(dst, fb, r, pf)
+	default:
+		return nil, fmt.Errorf("rfb: cannot encode with %s", EncodingName(enc))
+	}
+}
+
+// decodeRect reads one rectangle body from rd and paints it into fb at r.
+func decodeRect(rd io.Reader, enc int32, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) error {
+	switch enc {
+	case EncRaw:
+		return decodeRaw(rd, fb, r, pf)
+	case EncRRE:
+		return decodeRRE(rd, fb, r, pf)
+	case EncHextile:
+		return decodeHextile(rd, fb, r, pf)
+	case EncZlib:
+		return decodeZlib(rd, fb, r, pf)
+	default:
+		return fmt.Errorf("rfb: cannot decode %s: %w", EncodingName(enc), ErrBadMessage)
+	}
+}
+
+// --- Raw ---------------------------------------------------------------
+
+func encodeRaw(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) []byte {
+	bpp := pf.BytesPerPixel()
+	need := r.W * r.H * bpp
+	start := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	out := dst[start:]
+	i := 0
+	for y := r.Y; y < r.MaxY(); y++ {
+		row := fb.Pix()[y*fb.W()+r.X : y*fb.W()+r.MaxX()]
+		for _, c := range row {
+			i += putPixel(out[i:], pf, c)
+		}
+	}
+	return dst
+}
+
+func decodeRaw(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) error {
+	bpp := pf.BytesPerPixel()
+	buf := make([]byte, r.W*bpp)
+	for y := r.Y; y < r.MaxY(); y++ {
+		if _, err := io.ReadFull(rd, buf); err != nil {
+			return err
+		}
+		i := 0
+		for x := r.X; x < r.MaxX(); x++ {
+			c, n := getPixel(buf[i:], pf)
+			i += n
+			fb.Set(x, y, c)
+		}
+	}
+	return nil
+}
+
+// --- RRE ----------------------------------------------------------------
+//
+// Rise-and-run-length encoding: a background color plus a list of solid
+// subrectangles. The encoder picks the most frequent color as background
+// and emits one height-1 subrectangle per maximal non-background run.
+
+func dominantColor(fb *gfx.Framebuffer, r gfx.Rect) gfx.Color {
+	counts := make(map[gfx.Color]int, 16)
+	var best gfx.Color
+	bestN := -1
+	for y := r.Y; y < r.MaxY(); y++ {
+		row := fb.Pix()[y*fb.W()+r.X : y*fb.W()+r.MaxX()]
+		for _, c := range row {
+			counts[c]++
+			if counts[c] > bestN {
+				best, bestN = c, counts[c]
+			}
+		}
+	}
+	return best
+}
+
+func encodeRRE(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) []byte {
+	bpp := pf.BytesPerPixel()
+	bg := dominantColor(fb, r)
+
+	type sub struct {
+		c          gfx.Color
+		x, y, w, h int
+	}
+	var subs []sub
+	for y := 0; y < r.H; y++ {
+		row := fb.Pix()[(r.Y+y)*fb.W()+r.X : (r.Y+y)*fb.W()+r.MaxX()]
+		x := 0
+		for x < r.W {
+			c := row[x]
+			if c == bg {
+				x++
+				continue
+			}
+			x0 := x
+			for x < r.W && row[x] == c {
+				x++
+			}
+			subs = append(subs, sub{c: c, x: x0, y: y, w: x - x0, h: 1})
+		}
+	}
+
+	var hdr [4]byte
+	be.PutUint32(hdr[:], uint32(len(subs)))
+	dst = append(dst, hdr[:]...)
+	px := make([]byte, 4)
+	n := putPixel(px, pf, bg)
+	dst = append(dst, px[:n]...)
+	var geo [8]byte
+	for _, s := range subs {
+		n := putPixel(px, pf, s.c)
+		dst = append(dst, px[:n]...)
+		be.PutUint16(geo[0:], uint16(s.x))
+		be.PutUint16(geo[2:], uint16(s.y))
+		be.PutUint16(geo[4:], uint16(s.w))
+		be.PutUint16(geo[6:], uint16(s.h))
+		dst = append(dst, geo[:]...)
+	}
+	_ = bpp
+	return dst
+}
+
+func decodeRRE(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) error {
+	nsub, err := readU32(rd)
+	if err != nil {
+		return err
+	}
+	if nsub > uint32(r.Area()) {
+		return fmt.Errorf("rfb: rre subrect count %d exceeds area: %w", nsub, ErrBadMessage)
+	}
+	bpp := pf.BytesPerPixel()
+	buf := make([]byte, bpp+8)
+	if _, err := io.ReadFull(rd, buf[:bpp]); err != nil {
+		return err
+	}
+	bg, _ := getPixel(buf, pf)
+	fb.Fill(r, bg)
+	for i := uint32(0); i < nsub; i++ {
+		if _, err := io.ReadFull(rd, buf); err != nil {
+			return err
+		}
+		c, _ := getPixel(buf, pf)
+		sx := int(be.Uint16(buf[bpp:]))
+		sy := int(be.Uint16(buf[bpp+2:]))
+		sw := int(be.Uint16(buf[bpp+4:]))
+		sh := int(be.Uint16(buf[bpp+6:]))
+		fb.Fill(gfx.R(r.X+sx, r.Y+sy, sw, sh).Intersect(r), c)
+	}
+	return nil
+}
+
+// --- Hextile -------------------------------------------------------------
+//
+// The rectangle is split into 16×16 tiles, each encoded independently with
+// a subencoding mask. This implementation always specifies the background
+// (and foreground where applicable) explicitly, which the specification
+// permits.
+
+const (
+	hextileRaw        = 1
+	hextileBackground = 2
+	hextileForeground = 4
+	hextileAnySubrect = 8
+	hextileColoured   = 16
+)
+
+func encodeHextile(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) []byte {
+	px := make([]byte, 4)
+	for ty := r.Y; ty < r.MaxY(); ty += 16 {
+		th := min(16, r.MaxY()-ty)
+		for tx := r.X; tx < r.MaxX(); tx += 16 {
+			tw := min(16, r.MaxX()-tx)
+			tile := gfx.R(tx, ty, tw, th)
+			dst = encodeHextileTile(dst, fb, tile, pf, px)
+		}
+	}
+	return dst
+}
+
+func encodeHextileTile(dst []byte, fb *gfx.Framebuffer, tile gfx.Rect, pf gfx.PixelFormat, px []byte) []byte {
+	// Census of tile colors.
+	counts := make(map[gfx.Color]int, 8)
+	for y := tile.Y; y < tile.MaxY(); y++ {
+		row := fb.Pix()[y*fb.W()+tile.X : y*fb.W()+tile.MaxX()]
+		for _, c := range row {
+			counts[c]++
+		}
+	}
+	var bg gfx.Color
+	bgN := -1
+	for c, n := range counts {
+		if n > bgN || (n == bgN && c < bg) {
+			bg, bgN = c, n
+		}
+	}
+
+	type run struct {
+		c          gfx.Color
+		x, y, w, h int
+	}
+	var runs []run
+	for y := 0; y < tile.H; y++ {
+		row := fb.Pix()[(tile.Y+y)*fb.W()+tile.X : (tile.Y+y)*fb.W()+tile.MaxX()]
+		x := 0
+		for x < tile.W {
+			c := row[x]
+			if c == bg {
+				x++
+				continue
+			}
+			x0 := x
+			for x < tile.W && row[x] == c {
+				x++
+			}
+			runs = append(runs, run{c: c, x: x0, y: y, w: x - x0, h: 1})
+		}
+	}
+
+	bpp := pf.BytesPerPixel()
+	switch {
+	case len(counts) == 1:
+		dst = append(dst, hextileBackground)
+		n := putPixel(px, pf, bg)
+		dst = append(dst, px[:n]...)
+
+	case len(counts) == 2 && len(runs) <= 255:
+		var fg gfx.Color
+		for c := range counts {
+			if c != bg {
+				fg = c
+			}
+		}
+		dst = append(dst, hextileBackground|hextileForeground|hextileAnySubrect)
+		n := putPixel(px, pf, bg)
+		dst = append(dst, px[:n]...)
+		n = putPixel(px, pf, fg)
+		dst = append(dst, px[:n]...)
+		dst = append(dst, uint8(len(runs)))
+		for _, s := range runs {
+			dst = append(dst, uint8(s.x<<4|s.y), uint8((s.w-1)<<4|(s.h-1)))
+		}
+
+	default:
+		colouredSize := 1 + bpp + 1 + len(runs)*(bpp+2)
+		rawSize := 1 + tile.Area()*bpp
+		if len(runs) <= 255 && colouredSize < rawSize {
+			dst = append(dst, hextileBackground|hextileAnySubrect|hextileColoured)
+			n := putPixel(px, pf, bg)
+			dst = append(dst, px[:n]...)
+			dst = append(dst, uint8(len(runs)))
+			for _, s := range runs {
+				n := putPixel(px, pf, s.c)
+				dst = append(dst, px[:n]...)
+				dst = append(dst, uint8(s.x<<4|s.y), uint8((s.w-1)<<4|(s.h-1)))
+			}
+		} else {
+			dst = append(dst, hextileRaw)
+			dst = encodeRaw(dst, fb, tile, pf)
+		}
+	}
+	return dst
+}
+
+func decodeHextile(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) error {
+	bpp := pf.BytesPerPixel()
+	buf := make([]byte, 4)
+	var bg, fg gfx.Color
+	for ty := r.Y; ty < r.MaxY(); ty += 16 {
+		th := min(16, r.MaxY()-ty)
+		for tx := r.X; tx < r.MaxX(); tx += 16 {
+			tw := min(16, r.MaxX()-tx)
+			tile := gfx.R(tx, ty, tw, th)
+			mask, err := readU8(rd)
+			if err != nil {
+				return err
+			}
+			if mask&hextileRaw != 0 {
+				if err := decodeRaw(rd, fb, tile, pf); err != nil {
+					return err
+				}
+				continue
+			}
+			if mask&hextileBackground != 0 {
+				if _, err := io.ReadFull(rd, buf[:bpp]); err != nil {
+					return err
+				}
+				bg, _ = getPixel(buf, pf)
+			}
+			if mask&hextileForeground != 0 {
+				if _, err := io.ReadFull(rd, buf[:bpp]); err != nil {
+					return err
+				}
+				fg, _ = getPixel(buf, pf)
+			}
+			fb.Fill(tile, bg)
+			if mask&hextileAnySubrect == 0 {
+				continue
+			}
+			nsub, err := readU8(rd)
+			if err != nil {
+				return err
+			}
+			coloured := mask&hextileColoured != 0
+			for i := 0; i < int(nsub); i++ {
+				c := fg
+				if coloured {
+					if _, err := io.ReadFull(rd, buf[:bpp]); err != nil {
+						return err
+					}
+					c, _ = getPixel(buf, pf)
+				}
+				if _, err := io.ReadFull(rd, buf[:2]); err != nil {
+					return err
+				}
+				sx := int(buf[0] >> 4)
+				sy := int(buf[0] & 0xF)
+				sw := int(buf[1]>>4) + 1
+				sh := int(buf[1]&0xF) + 1
+				fb.Fill(gfx.R(tile.X+sx, tile.Y+sy, sw, sh).Intersect(tile), c)
+			}
+		}
+	}
+	return nil
+}
+
+// --- Zlib ----------------------------------------------------------------
+
+func encodeZlib(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) ([]byte, error) {
+	raw := encodeRaw(nil, fb, r, pf)
+	var zbuf bytes.Buffer
+	zw := zlib.NewWriter(&zbuf)
+	if _, err := zw.Write(raw); err != nil {
+		return nil, fmt.Errorf("rfb: zlib encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("rfb: zlib close: %w", err)
+	}
+	var hdr [4]byte
+	be.PutUint32(hdr[:], uint32(zbuf.Len()))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, zbuf.Bytes()...)
+	return dst, nil
+}
+
+func decodeZlib(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) error {
+	n, err := readU32(rd)
+	if err != nil {
+		return err
+	}
+	const maxZlibRect = 64 << 20
+	if n > maxZlibRect {
+		return fmt.Errorf("rfb: zlib rect of %d bytes: %w", n, ErrBadMessage)
+	}
+	comp := make([]byte, n)
+	if _, err := io.ReadFull(rd, comp); err != nil {
+		return err
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		return fmt.Errorf("rfb: zlib decode: %w", err)
+	}
+	defer zr.Close()
+	return decodeRaw(zr, fb, r, pf)
+}

@@ -1,0 +1,21 @@
+package rfb
+
+import (
+	"io"
+
+	"uniint/internal/gfx"
+)
+
+// EncodeRectBytes encodes one rectangle body (without the 12-byte wire
+// header) using the given encoding and pixel format. It is the entry
+// point the experiment harness (bench_test.go, cmd/unibench) uses to
+// measure encodings outside a live connection.
+func EncodeRectBytes(enc int32, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) ([]byte, error) {
+	return encodeRect(nil, enc, fb, r, pf)
+}
+
+// DecodeRectBytes decodes one rectangle body produced by EncodeRectBytes
+// into fb at r.
+func DecodeRectBytes(rd io.Reader, enc int32, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) error {
+	return decodeRect(rd, enc, fb, r, pf)
+}

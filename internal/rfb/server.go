@@ -1,0 +1,471 @@
+package rfb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"uniint/internal/gfx"
+)
+
+// ServerHandler receives the universal input events and update demands
+// arriving from the proxy. Implementations are provided by the UniInt
+// server (internal/uniserver), which injects the events into the window
+// system. Methods are called sequentially from the connection's read loop.
+type ServerHandler interface {
+	// KeyEvent delivers a universal keyboard event.
+	KeyEvent(ev KeyEvent)
+	// PointerEvent delivers a universal pointer event.
+	PointerEvent(ev PointerEvent)
+	// UpdateRequest delivers the client's demand for framebuffer contents.
+	UpdateRequest(req UpdateRequest)
+	// CutText delivers client-side clipboard text.
+	CutText(text string)
+}
+
+// ServerConn is the server end of a universal interaction connection. It is
+// created after a successful handshake and serves exactly one proxy.
+//
+// Writes (SendUpdate, Bell, …) may be issued from any goroutine; the read
+// loop (Serve) runs on its own goroutine and invokes the handler.
+type ServerConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex // serializes writes and guards bw
+	bw  *bufio.Writer
+
+	smu       sync.Mutex // guards negotiated state
+	pf        gfx.PixelFormat
+	pfGen     uint8 // bumped on every SetPixelFormat; tags updates
+	encodings []int32
+
+	width, height int
+	name          string
+
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+	updatesSent   atomic.Int64
+}
+
+// NewServerConn performs the server side of the handshake over conn and
+// returns a ready connection. width/height/name describe the served
+// desktop (the home appliance application's control panel surface).
+func NewServerConn(conn net.Conn, width, height int, name string) (*ServerConn, error) {
+	s := &ServerConn{
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 32<<10),
+		bw:     bufio.NewWriterSize(conn, 64<<10),
+		pf:     gfx.PF32(),
+		width:  width,
+		height: height,
+		name:   name,
+	}
+	if err := s.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *ServerConn) handshake() error {
+	// Version exchange.
+	if err := writeAll(s.bw, []byte(ProtocolVersion)); err != nil {
+		return fmt.Errorf("send version: %w", err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	ver := make([]byte, len(ProtocolVersion))
+	if _, err := io.ReadFull(s.br, ver); err != nil {
+		return fmt.Errorf("read client version: %w", err)
+	}
+	if string(ver) != ProtocolVersion {
+		return ErrBadVersion
+	}
+	// Security: none.
+	if err := writeU32(s.bw, secNone); err != nil {
+		return err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	// ClientInit (shared flag, ignored).
+	if _, err := readU8(s.br); err != nil {
+		return fmt.Errorf("read client init: %w", err)
+	}
+	// ServerInit.
+	if err := writeU16(s.bw, uint16(s.width)); err != nil {
+		return err
+	}
+	if err := writeU16(s.bw, uint16(s.height)); err != nil {
+		return err
+	}
+	if err := writePixelFormat(s.bw, s.pf); err != nil {
+		return err
+	}
+	if err := writeU32(s.bw, uint32(len(s.name))); err != nil {
+		return err
+	}
+	if err := writeAll(s.bw, []byte(s.name)); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// PixelFormat returns the pixel format currently requested by the client.
+func (s *ServerConn) PixelFormat() gfx.PixelFormat {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return s.pf
+}
+
+// pixelFormatGen returns the format together with its generation number.
+// Every FramebufferUpdate is tagged with the generation it was encoded
+// under (in the header's padding byte), so the client can decode in-flight
+// updates correctly across a format switch — the race a mid-session
+// SetPixelFormat would otherwise create on a streaming connection.
+func (s *ServerConn) pixelFormatGen() (gfx.PixelFormat, uint8) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return s.pf, s.pfGen
+}
+
+// Encodings returns the client's advertised encodings in preference order.
+func (s *ServerConn) Encodings() []int32 {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	out := make([]int32, len(s.encodings))
+	copy(out, s.encodings)
+	return out
+}
+
+// PreferredEncoding returns the first client-advertised encoding this
+// server can produce, falling back to Raw.
+func (s *ServerConn) PreferredEncoding() int32 {
+	for _, e := range s.Encodings() {
+		switch e {
+		case EncRaw, EncRRE, EncHextile, EncZlib:
+			return e
+		}
+	}
+	return EncRaw
+}
+
+// BytesSent returns the total bytes written to the client so far.
+func (s *ServerConn) BytesSent() int64 { return s.bytesSent.Load() }
+
+// BytesReceived returns the total bytes read from the client so far.
+func (s *ServerConn) BytesReceived() int64 { return s.bytesReceived.Load() }
+
+// UpdatesSent returns the number of FramebufferUpdate messages sent.
+func (s *ServerConn) UpdatesSent() int64 { return s.updatesSent.Load() }
+
+// Close tears down the transport; Serve will return afterwards.
+func (s *ServerConn) Close() error { return s.conn.Close() }
+
+// Serve reads client messages until the connection fails or closes,
+// dispatching each to h. It always returns a non-nil error; io.EOF and
+// closed-connection errors mean an orderly shutdown.
+func (s *ServerConn) Serve(h ServerHandler) error {
+	for {
+		t, err := readU8(s.br)
+		if err != nil {
+			return err
+		}
+		s.bytesReceived.Add(1)
+		switch t {
+		case msgSetPixelFormat:
+			if _, err := io.ReadFull(s.br, make([]byte, 3)); err != nil {
+				return err
+			}
+			pf, err := readPixelFormat(s.br)
+			if err != nil {
+				return err
+			}
+			s.bytesReceived.Add(19)
+			if !pf.Valid() {
+				return fmt.Errorf("rfb: client sent invalid pixel format: %w", ErrBadMessage)
+			}
+			s.smu.Lock()
+			s.pf = pf
+			s.pfGen++
+			s.smu.Unlock()
+
+		case msgSetEncodings:
+			if _, err := readU8(s.br); err != nil {
+				return err
+			}
+			n, err := readU16(s.br)
+			if err != nil {
+				return err
+			}
+			encs := make([]int32, n)
+			for i := range encs {
+				v, err := readU32(s.br)
+				if err != nil {
+					return err
+				}
+				encs[i] = int32(v)
+			}
+			s.bytesReceived.Add(int64(3 + 4*int(n)))
+			s.smu.Lock()
+			s.encodings = encs
+			s.smu.Unlock()
+
+		case msgFramebufferRequest:
+			inc, err := readU8(s.br)
+			if err != nil {
+				return err
+			}
+			var geo [8]byte
+			if _, err := io.ReadFull(s.br, geo[:]); err != nil {
+				return err
+			}
+			s.bytesReceived.Add(9)
+			h.UpdateRequest(UpdateRequest{
+				Incremental: inc != 0,
+				Region: gfx.R(
+					int(be.Uint16(geo[0:])), int(be.Uint16(geo[2:])),
+					int(be.Uint16(geo[4:])), int(be.Uint16(geo[6:])),
+				),
+			})
+
+		case msgKeyEvent:
+			down, err := readU8(s.br)
+			if err != nil {
+				return err
+			}
+			if _, err := io.ReadFull(s.br, make([]byte, 2)); err != nil {
+				return err
+			}
+			key, err := readU32(s.br)
+			if err != nil {
+				return err
+			}
+			s.bytesReceived.Add(7)
+			h.KeyEvent(KeyEvent{Down: down != 0, Key: key})
+
+		case msgPointerEvent:
+			mask, err := readU8(s.br)
+			if err != nil {
+				return err
+			}
+			x, err := readU16(s.br)
+			if err != nil {
+				return err
+			}
+			y, err := readU16(s.br)
+			if err != nil {
+				return err
+			}
+			s.bytesReceived.Add(5)
+			h.PointerEvent(PointerEvent{Buttons: mask, X: x, Y: y})
+
+		case msgClientCutText:
+			if _, err := io.ReadFull(s.br, make([]byte, 3)); err != nil {
+				return err
+			}
+			n, err := readU32(s.br)
+			if err != nil {
+				return err
+			}
+			if n > 1<<20 {
+				return fmt.Errorf("rfb: cut text of %d bytes: %w", n, ErrBadMessage)
+			}
+			txt := make([]byte, n)
+			if _, err := io.ReadFull(s.br, txt); err != nil {
+				return err
+			}
+			s.bytesReceived.Add(int64(7 + n))
+			h.CutText(string(txt))
+
+		default:
+			return fmt.Errorf("rfb: unknown client message %d: %w", t, ErrBadMessage)
+		}
+	}
+}
+
+// UpdateRect pairs a damage rectangle with the encoding to ship it with.
+type UpdateRect struct {
+	Rect     gfx.Rect
+	Encoding int32
+	// CopySrcX/CopySrcY are used only when Encoding == EncCopyRect.
+	CopySrcX, CopySrcY int
+}
+
+// SendUpdate ships the given rectangles of fb to the client in one
+// FramebufferUpdate message, encoding each with the client's preferred
+// encoding. Rectangles are clipped to the framebuffer.
+func (s *ServerConn) SendUpdate(fb *gfx.Framebuffer, rects []gfx.Rect) error {
+	enc := s.PreferredEncoding()
+	urs := make([]UpdateRect, 0, len(rects))
+	for _, r := range rects {
+		r = r.Intersect(fb.Bounds())
+		if r.Empty() {
+			continue
+		}
+		urs = append(urs, UpdateRect{Rect: r, Encoding: enc})
+	}
+	return s.SendUpdateRects(fb, urs)
+}
+
+// SendUpdateRects ships explicitly described rectangles (including
+// CopyRect moves). fb may be nil when every rectangle is a CopyRect.
+func (s *ServerConn) SendUpdateRects(fb *gfx.Framebuffer, rects []UpdateRect) error {
+	prep, err := s.PrepareUpdate(fb, rects)
+	if err != nil {
+		return err
+	}
+	return s.SendPrepared(prep)
+}
+
+// PreparedUpdate is an encoded-but-unsent FramebufferUpdate. Preparing
+// (CPU-bound, reads the framebuffer) and sending (blocking I/O) are split
+// so callers can encode while holding a framebuffer lock and transmit
+// after releasing it.
+type PreparedUpdate struct {
+	rects  []UpdateRect
+	bodies [][]byte
+	pfGen  uint8
+}
+
+// Empty reports whether the update carries no rectangles.
+func (p *PreparedUpdate) Empty() bool { return p == nil || len(p.rects) == 0 }
+
+// PrepareUpdate encodes the given rectangles against fb using the client's
+// current pixel format. fb may be nil when every rectangle is a CopyRect.
+func (s *ServerConn) PrepareUpdate(fb *gfx.Framebuffer, rects []UpdateRect) (*PreparedUpdate, error) {
+	pf, gen := s.pixelFormatGen()
+	prep := &PreparedUpdate{
+		rects:  make([]UpdateRect, len(rects)),
+		bodies: make([][]byte, len(rects)),
+		pfGen:  gen,
+	}
+	copy(prep.rects, rects)
+	for i, ur := range rects {
+		if ur.Encoding == EncCopyRect {
+			b := make([]byte, 4)
+			be.PutUint16(b[0:], uint16(ur.CopySrcX))
+			be.PutUint16(b[2:], uint16(ur.CopySrcY))
+			prep.bodies[i] = b
+			continue
+		}
+		body, err := encodeRect(nil, ur.Encoding, fb, ur.Rect, pf)
+		if err != nil {
+			return nil, err
+		}
+		prep.bodies[i] = body
+	}
+	return prep, nil
+}
+
+// SendPrepared transmits a previously prepared update.
+func (s *ServerConn) SendPrepared(prep *PreparedUpdate) error {
+	if prep.Empty() {
+		return nil
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cw := &countWriter{w: s.bw}
+	if err := writeU8(cw, msgFramebufferUpdate); err != nil {
+		return err
+	}
+	// The padding byte of RFB carries the pixel-format generation here.
+	if err := writeU8(cw, prep.pfGen); err != nil {
+		return err
+	}
+	if err := writeU16(cw, uint16(len(prep.rects))); err != nil {
+		return err
+	}
+	for i, ur := range prep.rects {
+		var hdr [12]byte
+		be.PutUint16(hdr[0:], uint16(ur.Rect.X))
+		be.PutUint16(hdr[2:], uint16(ur.Rect.Y))
+		be.PutUint16(hdr[4:], uint16(ur.Rect.W))
+		be.PutUint16(hdr[6:], uint16(ur.Rect.H))
+		be.PutUint32(hdr[8:], uint32(ur.Encoding))
+		if err := writeAll(cw, hdr[:]); err != nil {
+			return err
+		}
+		if err := writeAll(cw, prep.bodies[i]); err != nil {
+			return err
+		}
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	s.bytesSent.Add(cw.n)
+	s.updatesSent.Add(1)
+	return nil
+}
+
+// SendEmptyUpdate transmits a FramebufferUpdate with zero rectangles, so
+// that a request whose region clips to nothing still receives exactly one
+// reply (demand-driven clients pair requests with updates).
+func (s *ServerConn) SendEmptyUpdate() error {
+	_, gen := s.pixelFormatGen()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := writeU8(s.bw, msgFramebufferUpdate); err != nil {
+		return err
+	}
+	if err := writeU8(s.bw, gen); err != nil {
+		return err
+	}
+	if err := writeU16(s.bw, 0); err != nil {
+		return err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	s.bytesSent.Add(4)
+	s.updatesSent.Add(1)
+	return nil
+}
+
+// Bell rings the client's bell (used by appliances to signal attention).
+func (s *ServerConn) Bell() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := writeU8(s.bw, msgBell); err != nil {
+		return err
+	}
+	s.bytesSent.Add(1)
+	return s.bw.Flush()
+}
+
+// SendCutText ships server-side clipboard text to the client.
+func (s *ServerConn) SendCutText(text string) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := writeU8(s.bw, msgServerCutText); err != nil {
+		return err
+	}
+	if err := writeAll(s.bw, []byte{0, 0, 0}); err != nil {
+		return err
+	}
+	if err := writeU32(s.bw, uint32(len(text))); err != nil {
+		return err
+	}
+	if err := writeAll(s.bw, []byte(text)); err != nil {
+		return err
+	}
+	s.bytesSent.Add(int64(8 + len(text)))
+	return s.bw.Flush()
+}
+
+// countWriter counts bytes flowing through it.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

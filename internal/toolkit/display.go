@@ -1,0 +1,307 @@
+package toolkit
+
+import (
+	"sync"
+
+	"uniint/internal/gfx"
+)
+
+// Display is a window-system session: a framebuffer, a widget tree, a
+// focus chain and a pointer grab. It is the unit the UniInt server exports
+// over the universal interaction protocol.
+//
+// Display methods are safe for concurrent use. Widget callbacks (OnClick
+// and friends) run with the display lock held; they must not call Display
+// methods synchronously — hand work off to another goroutine instead.
+type Display struct {
+	mu      sync.Mutex
+	fb      *gfx.Framebuffer
+	damage  *gfx.Damage
+	root    Widget
+	focus   Widget
+	grab    Widget // widget holding the pointer between press and release
+	buttons uint8  // last observed pointer button mask
+	px, py  int    // last pointer position
+
+	// damageHooks are run (without the lock) after new damage appears;
+	// the UniInt server uses this to answer pending incremental requests.
+	hookMu      sync.Mutex
+	damageHooks []func()
+}
+
+// NewDisplay creates a display with a w×h framebuffer and an empty root.
+func NewDisplay(w, h int) *Display {
+	d := &Display{
+		fb:     gfx.NewFramebuffer(w, h),
+		damage: gfx.NewDamage(gfx.R(0, 0, w, h), 16),
+	}
+	root := NewPanel(VBox{Gap: 4, Padding: 4})
+	d.SetRoot(root)
+	return d
+}
+
+// Size returns the framebuffer geometry.
+func (d *Display) Size() (w, h int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fb.W(), d.fb.H()
+}
+
+// SetRoot installs the root widget, sizes it to the display, resets focus
+// to the first focusable widget and marks everything dirty.
+func (d *Display) SetRoot(w Widget) {
+	d.mu.Lock()
+	d.root = w
+	if w != nil {
+		attachTree(w, d)
+		w.SetBounds(d.fb.Bounds())
+	}
+	d.focus = nil
+	d.grab = nil
+	d.focusFirstLocked()
+	d.damage.AddAll()
+	d.mu.Unlock()
+	d.notifyDamage()
+}
+
+// Root returns the current root widget.
+func (d *Display) Root() Widget {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.root
+}
+
+// OnDamage registers fn to run whenever new damage is recorded. fn runs on
+// the goroutine that caused the damage, without the display lock.
+func (d *Display) OnDamage(fn func()) {
+	d.hookMu.Lock()
+	defer d.hookMu.Unlock()
+	d.damageHooks = append(d.damageHooks, fn)
+}
+
+func (d *Display) notifyDamage() {
+	d.hookMu.Lock()
+	hooks := make([]func(), len(d.damageHooks))
+	copy(hooks, d.damageHooks)
+	d.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// addDamage is called by widgets (with the lock already held).
+func (d *Display) addDamage(r gfx.Rect) { d.damage.Add(r) }
+
+// Render repaints the widget tree if dirty and returns the damage
+// rectangles that were refreshed (nil when nothing changed).
+func (d *Display) Render() []gfx.Rect {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.renderLocked()
+}
+
+func (d *Display) renderLocked() []gfx.Rect {
+	if d.damage.Empty() {
+		return nil
+	}
+	rects := d.damage.Take()
+	if d.root != nil {
+		paintTree(d.root, d.fb)
+	}
+	return rects
+}
+
+func paintTree(w Widget, fb *gfx.Framebuffer) {
+	if !w.Visible() {
+		return
+	}
+	w.Paint(fb)
+	for _, c := range w.Children() {
+		paintTree(c, fb)
+	}
+}
+
+// Update runs fn with the display lock held and fires damage hooks
+// afterwards. Any code mutating widgets from outside an event callback
+// (e.g. the home application reacting to appliance state changes) must go
+// through Update. fn must not call other Display methods.
+func (d *Display) Update(fn func()) {
+	d.mu.Lock()
+	fn()
+	d.mu.Unlock()
+	d.notifyDamage()
+}
+
+// WithFramebuffer runs fn with the framebuffer locked. The UniInt server
+// uses this to encode update rectangles without copying. fn must not call
+// back into the display.
+func (d *Display) WithFramebuffer(fn func(fb *gfx.Framebuffer)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fn(d.fb)
+}
+
+// Snapshot renders pending damage and returns a copy of region r.
+func (d *Display) Snapshot(r gfx.Rect) *gfx.Framebuffer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.renderLocked()
+	return d.fb.SubImage(r)
+}
+
+// Dirty reports whether undrawn damage is pending.
+func (d *Display) Dirty() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.damage.Empty()
+}
+
+// --- input injection -----------------------------------------------------
+
+// InjectPointer translates a universal pointer state (position + button
+// mask) into press/release/move events for the widget tree. It implements
+// the pointer half of the universal input event vocabulary.
+func (d *Display) InjectPointer(x, y int, buttons uint8) {
+	d.mu.Lock()
+	prev := d.buttons
+	d.buttons = buttons
+	d.px, d.py = x, y
+
+	pressed := buttons&1 != 0 && prev&1 == 0
+	released := buttons&1 == 0 && prev&1 != 0
+
+	switch {
+	case pressed:
+		target := widgetAt(d.root, x, y)
+		d.grab = target
+		if target != nil {
+			if target.Focusable() {
+				d.setFocusLocked(target)
+			}
+			target.HandleMouse(MouseEvent{Kind: MousePress, X: x, Y: y})
+		}
+	case released:
+		if d.grab != nil {
+			d.grab.HandleMouse(MouseEvent{Kind: MouseRelease, X: x, Y: y})
+			d.grab = nil
+		}
+	default:
+		if d.grab != nil {
+			d.grab.HandleMouse(MouseEvent{Kind: MouseMove, X: x, Y: y})
+		}
+	}
+	d.mu.Unlock()
+	d.notifyDamage()
+}
+
+// Click is a convenience for tests and input plug-ins that synthesize a
+// full press+release at (x, y).
+func (d *Display) Click(x, y int) {
+	d.InjectPointer(x, y, 1)
+	d.InjectPointer(x, y, 0)
+}
+
+// InjectKey delivers a universal keyboard event. Tab (and Down) move focus
+// forward, Up moves focus backward, everything else goes to the focused
+// widget. This keyboard-only navigation path is what keypad devices (cell
+// phones, remote controls) are translated into by their input plug-ins.
+func (d *Display) InjectKey(down bool, key Key) {
+	d.mu.Lock()
+	ev := KeyEvent{Down: down, Key: key}
+
+	// Focused widget gets the first chance (a slider consumes Left/Right).
+	if d.focus != nil && d.focus.HandleKey(ev) {
+		d.mu.Unlock()
+		d.notifyDamage()
+		return
+	}
+	if down {
+		switch key {
+		case KeyTab, KeyDown:
+			d.moveFocusLocked(+1)
+		case KeyUp:
+			d.moveFocusLocked(-1)
+		}
+	}
+	d.mu.Unlock()
+	d.notifyDamage()
+}
+
+// --- focus ---------------------------------------------------------------
+
+// Focus returns the currently focused widget (nil when none).
+func (d *Display) Focus() Widget {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.focus
+}
+
+// FocusWidget programmatically moves focus to w (must be in the tree).
+func (d *Display) FocusWidget(w Widget) {
+	d.mu.Lock()
+	d.setFocusLocked(w)
+	d.mu.Unlock()
+	d.notifyDamage()
+}
+
+func (d *Display) setFocusLocked(w Widget) {
+	if d.focus == w {
+		return
+	}
+	if d.focus != nil {
+		d.focus.SetFocused(false)
+	}
+	d.focus = w
+	if w != nil {
+		w.SetFocused(true)
+	}
+}
+
+func (d *Display) focusFirstLocked() {
+	focusables := collectFocusables(d.root, nil)
+	if len(focusables) > 0 {
+		d.setFocusLocked(focusables[0])
+	} else {
+		d.setFocusLocked(nil)
+	}
+}
+
+func (d *Display) moveFocusLocked(dir int) {
+	focusables := collectFocusables(d.root, nil)
+	if len(focusables) == 0 {
+		d.setFocusLocked(nil)
+		return
+	}
+	idx := -1
+	for i, w := range focusables {
+		if w == d.focus {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		d.setFocusLocked(focusables[0])
+		return
+	}
+	idx = (idx + dir + len(focusables)) % len(focusables)
+	d.setFocusLocked(focusables[idx])
+}
+
+// RefreshFocus re-validates focus after the tree changed (e.g. the home
+// application regenerated the composed panel).
+func (d *Display) RefreshFocus() {
+	d.mu.Lock()
+	focusables := collectFocusables(d.root, nil)
+	found := false
+	for _, w := range focusables {
+		if w == d.focus {
+			found = true
+			break
+		}
+	}
+	if !found {
+		d.focusFirstLocked()
+	}
+	d.mu.Unlock()
+	d.notifyDamage()
+}

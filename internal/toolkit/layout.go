@@ -1,0 +1,188 @@
+package toolkit
+
+import "uniint/internal/gfx"
+
+// Layout arranges the children of a Panel within its content rectangle.
+type Layout interface {
+	// Arrange assigns bounds to each visible child.
+	Arrange(content gfx.Rect, children []Widget)
+	// Preferred computes the size the children need under this layout.
+	Preferred(children []Widget) (w, h int)
+}
+
+// VBox stacks children vertically. Children receive their preferred height
+// and the full content width.
+type VBox struct {
+	Gap     int // pixels between children
+	Padding int // pixels around the content
+}
+
+var _ Layout = VBox{}
+
+// Arrange implements Layout.
+func (l VBox) Arrange(content gfx.Rect, children []Widget) {
+	content = content.Inset(l.Padding)
+	y := content.Y
+	for _, c := range children {
+		if !c.Visible() {
+			continue
+		}
+		_, ph := c.PreferredSize()
+		c.SetBounds(gfx.R(content.X, y, content.W, ph))
+		y += ph + l.Gap
+	}
+}
+
+// Preferred implements Layout.
+func (l VBox) Preferred(children []Widget) (int, int) {
+	w, h, n := 0, 0, 0
+	for _, c := range children {
+		if !c.Visible() {
+			continue
+		}
+		pw, ph := c.PreferredSize()
+		w = max(w, pw)
+		h += ph
+		n++
+	}
+	if n > 1 {
+		h += (n - 1) * l.Gap
+	}
+	return w + 2*l.Padding, h + 2*l.Padding
+}
+
+// HBox lays children out horizontally. Children receive their preferred
+// width and the full content height.
+type HBox struct {
+	Gap     int
+	Padding int
+}
+
+var _ Layout = HBox{}
+
+// Arrange implements Layout.
+func (l HBox) Arrange(content gfx.Rect, children []Widget) {
+	content = content.Inset(l.Padding)
+	x := content.X
+	for _, c := range children {
+		if !c.Visible() {
+			continue
+		}
+		pw, _ := c.PreferredSize()
+		c.SetBounds(gfx.R(x, content.Y, pw, content.H))
+		x += pw + l.Gap
+	}
+}
+
+// Preferred implements Layout.
+func (l HBox) Preferred(children []Widget) (int, int) {
+	w, h, n := 0, 0, 0
+	for _, c := range children {
+		if !c.Visible() {
+			continue
+		}
+		pw, ph := c.PreferredSize()
+		w += pw
+		h = max(h, ph)
+		n++
+	}
+	if n > 1 {
+		w += (n - 1) * l.Gap
+	}
+	return w + 2*l.Padding, h + 2*l.Padding
+}
+
+// Grid arranges children in rows of Cols equal-width cells. Row height is
+// the tallest preferred height in that row.
+type Grid struct {
+	Cols    int
+	Gap     int
+	Padding int
+}
+
+var _ Layout = Grid{}
+
+func (l Grid) cols() int {
+	if l.Cols < 1 {
+		return 1
+	}
+	return l.Cols
+}
+
+// Arrange implements Layout.
+func (l Grid) Arrange(content gfx.Rect, children []Widget) {
+	content = content.Inset(l.Padding)
+	cols := l.cols()
+	vis := make([]Widget, 0, len(children))
+	for _, c := range children {
+		if c.Visible() {
+			vis = append(vis, c)
+		}
+	}
+	if len(vis) == 0 {
+		return
+	}
+	cellW := (content.W - (cols-1)*l.Gap) / cols
+	y := content.Y
+	for row := 0; row*cols < len(vis); row++ {
+		rowH := 0
+		for col := 0; col < cols && row*cols+col < len(vis); col++ {
+			_, ph := vis[row*cols+col].PreferredSize()
+			rowH = max(rowH, ph)
+		}
+		for col := 0; col < cols && row*cols+col < len(vis); col++ {
+			x := content.X + col*(cellW+l.Gap)
+			vis[row*cols+col].SetBounds(gfx.R(x, y, cellW, rowH))
+		}
+		y += rowH + l.Gap
+	}
+}
+
+// Preferred implements Layout.
+func (l Grid) Preferred(children []Widget) (int, int) {
+	cols := l.cols()
+	cellW, totalH, rowH, n := 0, 0, 0, 0
+	for _, c := range children {
+		if !c.Visible() {
+			continue
+		}
+		pw, ph := c.PreferredSize()
+		cellW = max(cellW, pw)
+		rowH = max(rowH, ph)
+		n++
+		if n%cols == 0 {
+			totalH += rowH + l.Gap
+			rowH = 0
+		}
+	}
+	if n == 0 {
+		return 2 * l.Padding, 2 * l.Padding
+	}
+	if n%cols != 0 {
+		totalH += rowH + l.Gap
+	}
+	totalH -= l.Gap
+	rows := (n + cols - 1) / cols
+	_ = rows
+	w := cols*cellW + (cols-1)*l.Gap
+	return w + 2*l.Padding, totalH + 2*l.Padding
+}
+
+// Fixed is a no-op layout: children keep whatever bounds were set manually.
+type Fixed struct{}
+
+var _ Layout = Fixed{}
+
+// Arrange implements Layout (no-op).
+func (Fixed) Arrange(gfx.Rect, []Widget) {}
+
+// Preferred implements Layout by reporting the bounding box of children.
+func (Fixed) Preferred(children []Widget) (int, int) {
+	var u gfx.Rect
+	for _, c := range children {
+		if c.Visible() {
+			u = u.Union(c.Bounds())
+		}
+	}
+	return u.MaxX(), u.MaxY()
+}

@@ -1,0 +1,217 @@
+package toolkit
+
+import (
+	"strconv"
+
+	"uniint/internal/gfx"
+)
+
+// Slider is a horizontal value control (volume, channel, temperature).
+// Pointer devices drag the knob; keypad devices use Left/Right arrows.
+type Slider struct {
+	widgetBase
+	label    string
+	min, max int
+	value    int
+	step     int
+	dragging bool
+	// OnChange is invoked after the value changes through user input.
+	OnChange func(v int)
+}
+
+var _ Widget = (*Slider)(nil)
+
+// NewSlider creates a slider over [min, max] with the given initial value.
+func NewSlider(label string, minV, maxV, value int, onChange func(int)) *Slider {
+	if maxV < minV {
+		maxV = minV
+	}
+	s := &Slider{
+		widgetBase: newWidgetBase(),
+		label:      label,
+		min:        minV,
+		max:        maxV,
+		step:       1,
+		OnChange:   onChange,
+	}
+	s.value = s.clamp(value)
+	return s
+}
+
+// SetStep sets the keyboard increment (defaults to 1).
+func (s *Slider) SetStep(st int) {
+	if st > 0 {
+		s.step = st
+	}
+}
+
+// Value returns the current value.
+func (s *Slider) Value() int { return s.value }
+
+// SetValue sets the value programmatically without firing OnChange.
+func (s *Slider) SetValue(v int) {
+	v = s.clamp(v)
+	if v == s.value {
+		return
+	}
+	s.value = v
+	s.Invalidate()
+}
+
+func (s *Slider) clamp(v int) int {
+	if v < s.min {
+		return s.min
+	}
+	if v > s.max {
+		return s.max
+	}
+	return v
+}
+
+// PreferredSize implements Widget.
+func (s *Slider) PreferredSize() (int, int) {
+	return gfx.TextWidth(s.label) + 120, gfx.TextHeight() + 10
+}
+
+// Focusable implements Widget.
+func (s *Slider) Focusable() bool { return s.enabled }
+
+// track returns the groove rectangle.
+func (s *Slider) track() gfx.Rect {
+	lw := gfx.TextWidth(s.label) + 6
+	vw := gfx.TextWidth(strconv.Itoa(s.max)) + 6
+	r := s.bounds
+	return gfx.R(r.X+lw, r.Y+r.H/2-2, r.W-lw-vw-6, 4)
+}
+
+// Paint implements Widget.
+func (s *Slider) Paint(fb *gfx.Framebuffer) {
+	fb.Fill(s.bounds, gfx.LightGray)
+	y := s.bounds.Y + (s.bounds.H-gfx.TextHeight())/2 + 1
+	gfx.DrawTextClipped(fb, s.bounds.X+2, y, s.label, gfx.Black, s.bounds)
+	tr := s.track()
+	fb.Fill(tr, gfx.White)
+	fb.Border(tr, gfx.DarkGray)
+	// Knob position.
+	span := s.max - s.min
+	kx := tr.X
+	if span > 0 {
+		kx = tr.X + (s.value-s.min)*(tr.W-6)/span
+	}
+	knob := gfx.R(kx, tr.Y-4, 6, 12)
+	fb.Fill(knob, gfx.Gray)
+	fb.Bevel(knob, false)
+	// Value readout.
+	val := strconv.Itoa(s.value)
+	gfx.DrawTextClipped(fb, s.bounds.MaxX()-gfx.TextWidth(val)-2, y, val, gfx.Navy, s.bounds)
+	if s.focused {
+		fb.Border(s.bounds, gfx.Navy)
+	}
+}
+
+// HandleMouse implements Widget: click or drag on the track sets the value.
+func (s *Slider) HandleMouse(ev MouseEvent) bool {
+	if !s.enabled {
+		return false
+	}
+	switch ev.Kind {
+	case MousePress:
+		s.dragging = true
+		s.moveTo(ev.X)
+		return true
+	case MouseMove:
+		if s.dragging {
+			s.moveTo(ev.X)
+			return true
+		}
+	case MouseRelease:
+		if s.dragging {
+			s.dragging = false
+			s.moveTo(ev.X)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Slider) moveTo(x int) {
+	tr := s.track()
+	if tr.W <= 6 {
+		return
+	}
+	span := s.max - s.min
+	v := s.min + (x-tr.X)*span/(tr.W-6)
+	s.apply(s.clamp(v))
+}
+
+// HandleKey implements Widget: Left/Right adjust by one step.
+func (s *Slider) HandleKey(ev KeyEvent) bool {
+	if !s.enabled || !ev.Down {
+		return false
+	}
+	switch ev.Key {
+	case KeyLeft:
+		s.apply(s.clamp(s.value - s.step))
+		return true
+	case KeyRight:
+		s.apply(s.clamp(s.value + s.step))
+		return true
+	}
+	return false
+}
+
+func (s *Slider) apply(v int) {
+	if v == s.value {
+		return
+	}
+	s.value = v
+	s.Invalidate()
+	if s.OnChange != nil {
+		s.OnChange(v)
+	}
+}
+
+// ProgressBar is a read-only percentage display (tape position, preheat).
+type ProgressBar struct {
+	widgetBase
+	value int // 0..100
+}
+
+var _ Widget = (*ProgressBar)(nil)
+
+// NewProgressBar creates a bar at the given percentage.
+func NewProgressBar(value int) *ProgressBar {
+	p := &ProgressBar{widgetBase: newWidgetBase()}
+	p.SetValue(value)
+	return p
+}
+
+// Value returns the percentage.
+func (p *ProgressBar) Value() int { return p.value }
+
+// SetValue sets the percentage (clamped to 0..100).
+func (p *ProgressBar) SetValue(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v > 100 {
+		v = 100
+	}
+	if v == p.value {
+		return
+	}
+	p.value = v
+	p.Invalidate()
+}
+
+// PreferredSize implements Widget.
+func (p *ProgressBar) PreferredSize() (int, int) { return 120, 12 }
+
+// Paint implements Widget.
+func (p *ProgressBar) Paint(fb *gfx.Framebuffer) {
+	fb.Fill(p.bounds, gfx.White)
+	fill := p.bounds
+	fill.W = p.bounds.W * p.value / 100
+	fb.Fill(fill, gfx.Blue)
+	fb.Border(p.bounds, gfx.DarkGray)
+}

@@ -1,0 +1,271 @@
+package toolkit
+
+import "uniint/internal/gfx"
+
+// Align controls horizontal text alignment.
+type Align int
+
+// Alignment values.
+const (
+	AlignLeft Align = iota
+	AlignCenter
+	AlignRight
+)
+
+// Label is a static single-line text widget.
+type Label struct {
+	widgetBase
+	text  string
+	align Align
+	color gfx.Color
+}
+
+var _ Widget = (*Label)(nil)
+
+// NewLabel creates a left-aligned black label.
+func NewLabel(text string) *Label {
+	return &Label{widgetBase: newWidgetBase(), text: text, color: gfx.Black}
+}
+
+// SetText updates the label's text.
+func (l *Label) SetText(t string) {
+	if l.text == t {
+		return
+	}
+	l.text = t
+	l.Invalidate()
+}
+
+// Text returns the current text.
+func (l *Label) Text() string { return l.text }
+
+// SetAlign changes the horizontal alignment.
+func (l *Label) SetAlign(a Align) {
+	l.align = a
+	l.Invalidate()
+}
+
+// SetColor changes the text color.
+func (l *Label) SetColor(c gfx.Color) {
+	l.color = c
+	l.Invalidate()
+}
+
+// PreferredSize implements Widget.
+func (l *Label) PreferredSize() (int, int) {
+	return gfx.TextWidth(l.text) + 2, gfx.TextHeight() + 2
+}
+
+// Paint implements Widget.
+func (l *Label) Paint(fb *gfx.Framebuffer) {
+	x := l.bounds.X + 1
+	switch l.align {
+	case AlignCenter:
+		x = gfx.CenterTextX(l.bounds.X, l.bounds.W, l.text)
+	case AlignRight:
+		x = l.bounds.MaxX() - gfx.TextWidth(l.text) - 1
+	}
+	y := l.bounds.Y + (l.bounds.H-gfx.TextHeight())/2 + 1
+	gfx.DrawTextClipped(fb, x, y, l.text, l.color, l.bounds)
+}
+
+// Button is a push button firing OnClick when activated by pointer or by
+// keyboard (Enter/Space while focused — the path keypad devices use).
+type Button struct {
+	widgetBase
+	label   string
+	pressed bool
+	// OnClick is invoked on activation (with the display lock held; do not
+	// call back into the display synchronously).
+	OnClick func()
+}
+
+var _ Widget = (*Button)(nil)
+
+// NewButton creates a button with a label and click handler.
+func NewButton(label string, onClick func()) *Button {
+	return &Button{widgetBase: newWidgetBase(), label: label, OnClick: onClick}
+}
+
+// SetLabel updates the button text.
+func (b *Button) SetLabel(s string) {
+	if b.label == s {
+		return
+	}
+	b.label = s
+	b.Invalidate()
+}
+
+// Label returns the button text.
+func (b *Button) Label() string { return b.label }
+
+// PreferredSize implements Widget.
+func (b *Button) PreferredSize() (int, int) {
+	return gfx.TextWidth(b.label) + 14, gfx.TextHeight() + 8
+}
+
+// Focusable implements Widget.
+func (b *Button) Focusable() bool { return b.enabled }
+
+// Paint implements Widget.
+func (b *Button) Paint(fb *gfx.Framebuffer) {
+	bg := gfx.Gray
+	if b.pressed {
+		bg = gfx.DarkGray
+	}
+	fb.Fill(b.bounds, bg)
+	fb.Bevel(b.bounds, b.pressed)
+	fg := gfx.Black
+	if !b.enabled {
+		fg = gfx.Gray
+	} else if b.pressed {
+		fg = gfx.White
+	}
+	x := gfx.CenterTextX(b.bounds.X, b.bounds.W, b.label)
+	y := b.bounds.Y + (b.bounds.H-gfx.TextHeight())/2 + 1
+	gfx.DrawTextClipped(fb, x, y, b.label, fg, b.bounds.Inset(2))
+	if b.focused {
+		fb.Border(b.bounds.Inset(2), gfx.Navy)
+	}
+}
+
+// HandleMouse implements Widget: press shows the pressed state, release
+// inside fires the click.
+func (b *Button) HandleMouse(ev MouseEvent) bool {
+	if !b.enabled {
+		return false
+	}
+	switch ev.Kind {
+	case MousePress:
+		b.pressed = true
+		b.Invalidate()
+		return true
+	case MouseRelease:
+		was := b.pressed
+		b.pressed = false
+		b.Invalidate()
+		if was && b.bounds.Contains(ev.X, ev.Y) {
+			b.fire()
+		}
+		return true
+	}
+	return false
+}
+
+// HandleKey implements Widget: Enter or Space activates.
+func (b *Button) HandleKey(ev KeyEvent) bool {
+	if !b.enabled || !ev.Down {
+		return false
+	}
+	if ev.Key == KeyEnter || ev.Key == KeySpace {
+		b.pressed = true
+		b.Invalidate()
+		b.pressed = false
+		b.fire()
+		return true
+	}
+	return false
+}
+
+func (b *Button) fire() {
+	if b.OnClick != nil {
+		b.OnClick()
+	}
+}
+
+// Toggle is a two-state switch (power buttons, mute, …).
+type Toggle struct {
+	widgetBase
+	label string
+	on    bool
+	// OnChange is invoked with the new state after it flips.
+	OnChange func(on bool)
+}
+
+var _ Widget = (*Toggle)(nil)
+
+// NewToggle creates a toggle in the given initial state.
+func NewToggle(label string, on bool, onChange func(bool)) *Toggle {
+	return &Toggle{widgetBase: newWidgetBase(), label: label, on: on, OnChange: onChange}
+}
+
+// On reports the current state.
+func (t *Toggle) On() bool { return t.on }
+
+// SetOn sets the state programmatically (appliance state pushed into the
+// GUI); the OnChange callback is NOT invoked, preventing feedback loops.
+func (t *Toggle) SetOn(on bool) {
+	if t.on == on {
+		return
+	}
+	t.on = on
+	t.Invalidate()
+}
+
+// SetLabel updates the toggle's label.
+func (t *Toggle) SetLabel(s string) {
+	if t.label == s {
+		return
+	}
+	t.label = s
+	t.Invalidate()
+}
+
+// PreferredSize implements Widget.
+func (t *Toggle) PreferredSize() (int, int) {
+	return gfx.TextWidth(t.label) + 34, gfx.TextHeight() + 8
+}
+
+// Focusable implements Widget.
+func (t *Toggle) Focusable() bool { return t.enabled }
+
+// Paint implements Widget.
+func (t *Toggle) Paint(fb *gfx.Framebuffer) {
+	fb.Fill(t.bounds, gfx.LightGray)
+	// Indicator lamp.
+	lamp := gfx.R(t.bounds.X+4, t.bounds.Y+(t.bounds.H-10)/2, 16, 10)
+	if t.on {
+		fb.Fill(lamp, gfx.Green)
+	} else {
+		fb.Fill(lamp, gfx.DarkGray)
+	}
+	fb.Border(lamp, gfx.Black)
+	fg := gfx.Black
+	if !t.enabled {
+		fg = gfx.Gray
+	}
+	y := t.bounds.Y + (t.bounds.H-gfx.TextHeight())/2 + 1
+	gfx.DrawTextClipped(fb, t.bounds.X+26, y, t.label, fg, t.bounds)
+	if t.focused {
+		fb.Border(t.bounds.Inset(1), gfx.Navy)
+	}
+}
+
+// HandleMouse implements Widget.
+func (t *Toggle) HandleMouse(ev MouseEvent) bool {
+	if !t.enabled || ev.Kind != MouseRelease || !t.bounds.Contains(ev.X, ev.Y) {
+		return ev.Kind == MousePress && t.enabled
+	}
+	t.flip()
+	return true
+}
+
+// HandleKey implements Widget.
+func (t *Toggle) HandleKey(ev KeyEvent) bool {
+	if !t.enabled || !ev.Down {
+		return false
+	}
+	if ev.Key == KeyEnter || ev.Key == KeySpace {
+		t.flip()
+		return true
+	}
+	return false
+}
+
+func (t *Toggle) flip() {
+	t.on = !t.on
+	t.Invalidate()
+	if t.OnChange != nil {
+		t.OnChange(t.on)
+	}
+}

@@ -1,0 +1,284 @@
+// Package uniserver implements the UniInt server of the paper: the server
+// half of the thin-client system, run where the home appliance application
+// executes. It exports a toolkit display session over the universal
+// interaction protocol — shipping framebuffer rectangles to the UniInt
+// proxy on demand and injecting the proxy's universal keyboard/mouse
+// events into the window system.
+//
+// Matching the paper's claim that "we need not modify existing servers of
+// thin-client systems", the server contains no knowledge of interaction
+// devices: all device heterogeneity is handled by the proxy.
+package uniserver
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"uniint/internal/gfx"
+	"uniint/internal/rfb"
+	"uniint/internal/toolkit"
+)
+
+// Server exports one display session to any number of proxy connections.
+type Server struct {
+	display *toolkit.Display
+	name    string
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates a server for the given display. name is announced to
+// clients during the handshake.
+func New(display *toolkit.Display, name string) *Server {
+	s := &Server{
+		display:  display,
+		name:     name,
+		sessions: make(map[*session]struct{}),
+	}
+	display.OnDamage(s.pump)
+	return s
+}
+
+// Display returns the served display.
+func (s *Server) Display() *toolkit.Display { return s.display }
+
+// HandleConn performs the protocol handshake on conn and serves it until
+// the peer disconnects. It blocks; callers typically run it on its own
+// goroutine (Serve does).
+func (s *Server) HandleConn(conn net.Conn) error {
+	w, h := s.display.Size()
+	rc, err := rfb.NewServerConn(conn, w, h, s.name)
+	if err != nil {
+		return err
+	}
+	sess := &session{
+		srv:        s,
+		conn:       rc,
+		dirty:      gfx.NewDamage(gfx.R(0, 0, w, h), 16),
+		bounds:     gfx.R(0, 0, w, h),
+		out:        make(chan *rfb.PreparedUpdate, 8),
+		quit:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		rc.Close()
+		return errors.New("uniserver: server closed")
+	}
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+
+	go sess.writeLoop()
+	err = rc.Serve(sess)
+
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+	rc.Close()
+	close(sess.quit)
+	<-sess.writerDone
+	return err
+}
+
+// Serve accepts proxy connections from ln until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.HandleConn(conn)
+		}()
+	}
+}
+
+// Close disconnects every session and waits for handlers started by Serve.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.conn.Close()
+	}
+	s.wg.Wait()
+}
+
+// Sessions returns the number of connected proxies.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// pump runs after the display accumulated new damage: render once, then
+// offer the fresh rectangles to every session.
+func (s *Server) pump() {
+	rects := s.display.Render()
+	if len(rects) == 0 {
+		return
+	}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.addDirty(rects)
+	}
+}
+
+// session is one proxy connection: per-client dirty tracking plus the
+// demand-driven update state machine of the protocol.
+//
+// Updates are transmitted by a dedicated writer goroutine. This keeps the
+// read loop (and the GUI goroutines firing damage hooks) from ever
+// blocking on a slow transport — without it, a synchronous in-process
+// pipe can form a cycle: the read loop blocks writing an update, the peer
+// blocks writing a request, and neither side drains the other.
+type session struct {
+	srv    *Server
+	conn   *rfb.ServerConn
+	bounds gfx.Rect
+
+	out        chan *rfb.PreparedUpdate
+	quit       chan struct{}
+	writerDone chan struct{}
+
+	mu      sync.Mutex
+	dirty   *gfx.Damage
+	pending *rfb.UpdateRequest // outstanding incremental request
+}
+
+// writeLoop owns all update transmission for the session.
+func (c *session) writeLoop() {
+	defer close(c.writerDone)
+	for {
+		select {
+		case prep := <-c.out:
+			if err := c.conn.SendPrepared(prep); err != nil {
+				// Transport failure: the read loop will observe it and
+				// tear the session down; keep draining so enqueuers
+				// never block on a dead session.
+				continue
+			}
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+var _ rfb.ServerHandler = (*session)(nil)
+
+// KeyEvent implements rfb.ServerHandler: universal input → window system.
+func (c *session) KeyEvent(ev rfb.KeyEvent) {
+	c.srv.display.InjectKey(ev.Down, toolkit.Key(ev.Key))
+}
+
+// PointerEvent implements rfb.ServerHandler.
+func (c *session) PointerEvent(ev rfb.PointerEvent) {
+	c.srv.display.InjectPointer(int(ev.X), int(ev.Y), ev.Buttons)
+}
+
+// CutText implements rfb.ServerHandler (ignored; appliances do not paste).
+func (c *session) CutText(string) {}
+
+// UpdateRequest implements rfb.ServerHandler. Non-incremental requests are
+// answered immediately with the full region; incremental requests are
+// answered when damage exists, otherwise parked until damage arrives.
+func (c *session) UpdateRequest(req rfb.UpdateRequest) {
+	// Ensure pending damage from before this connection is rendered.
+	c.srv.pump()
+	if !req.Incremental {
+		c.mu.Lock()
+		c.dirty.Take() // full resend supersedes pending damage
+		c.pending = nil
+		c.mu.Unlock()
+		region := req.Region.Intersect(c.bounds)
+		if region.Empty() {
+			// Every non-incremental request gets exactly one reply.
+			_ = c.conn.SendEmptyUpdate()
+			return
+		}
+		c.send([]gfx.Rect{region})
+		return
+	}
+	c.mu.Lock()
+	if c.dirty.Empty() {
+		c.pending = &req
+		c.mu.Unlock()
+		return
+	}
+	rects := c.dirty.Take()
+	c.mu.Unlock()
+	c.send(clipAll(rects, req.Region))
+}
+
+// addDirty accumulates fresh damage and satisfies a parked request.
+func (c *session) addDirty(rects []gfx.Rect) {
+	c.mu.Lock()
+	for _, r := range rects {
+		c.dirty.Add(r)
+	}
+	if c.pending == nil || c.dirty.Empty() {
+		c.mu.Unlock()
+		return
+	}
+	req := *c.pending
+	c.pending = nil
+	out := clipAll(c.dirty.Take(), req.Region)
+	c.mu.Unlock()
+	c.send(out)
+}
+
+// send encodes under the display lock and hands the result to the writer
+// goroutine.
+func (c *session) send(rects []gfx.Rect) {
+	urs := make([]rfb.UpdateRect, 0, len(rects))
+	enc := c.conn.PreferredEncoding()
+	for _, r := range rects {
+		if !r.Empty() {
+			urs = append(urs, rfb.UpdateRect{Rect: r, Encoding: enc})
+		}
+	}
+	if len(urs) == 0 {
+		return
+	}
+	var (
+		prep *rfb.PreparedUpdate
+		err  error
+	)
+	c.srv.display.WithFramebuffer(func(fb *gfx.Framebuffer) {
+		prep, err = c.conn.PrepareUpdate(fb, urs)
+	})
+	if err != nil {
+		return // encoding failure: drop the update, connection stays up
+	}
+	select {
+	case c.out <- prep:
+	case <-c.quit: // session torn down: drop
+	}
+}
+
+func clipAll(rects []gfx.Rect, clip gfx.Rect) []gfx.Rect {
+	out := rects[:0]
+	for _, r := range rects {
+		r = r.Intersect(clip)
+		if !r.Empty() {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+
+	"uniint/internal/gfx"
+)
+
+func TestFrameClassesGeometryAndDeterminism(t *testing.T) {
+	for name, f := range Frames(160, 120) {
+		if f.W() != 160 || f.H() != 120 {
+			t.Errorf("%s geometry = %dx%d", name, f.W(), f.H())
+		}
+	}
+	// Seeded generators are reproducible.
+	if !NoiseFrame(64, 64, 7).Equal(NoiseFrame(64, 64, 7)) {
+		t.Error("noise frame not deterministic")
+	}
+	if NoiseFrame(64, 64, 7).Equal(NoiseFrame(64, 64, 8)) {
+		t.Error("noise seeds collide")
+	}
+	if !TextFrame(64, 64, 3).Equal(TextFrame(64, 64, 3)) {
+		t.Error("text frame not deterministic")
+	}
+}
+
+func TestFrameClassesHaveExpectedComplexity(t *testing.T) {
+	distinct := func(f *gfx.Framebuffer) int {
+		seen := map[gfx.Color]bool{}
+		for _, c := range f.Pix() {
+			seen[c] = true
+		}
+		return len(seen)
+	}
+	flat := distinct(FlatFrame(160, 120))
+	gui := distinct(GUIFrame(160, 120))
+	noise := distinct(NoiseFrame(160, 120, 1))
+	if flat != 1 {
+		t.Errorf("flat colors = %d", flat)
+	}
+	if gui <= flat || gui >= 1000 {
+		t.Errorf("gui colors = %d (should be few but >1)", gui)
+	}
+	if noise < 10000 {
+		t.Errorf("noise colors = %d (should be ~unique)", noise)
+	}
+}
+
+func TestWidgetDamageInBounds(t *testing.T) {
+	bounds := gfx.R(0, 0, 640, 480)
+	rects := WidgetDamage(bounds, 50, 9)
+	if len(rects) != 50 {
+		t.Fatalf("rects = %d", len(rects))
+	}
+	for _, r := range rects {
+		if !bounds.ContainsRect(r) {
+			t.Errorf("damage %+v escapes bounds", r)
+		}
+		if r.Area() == 0 || r.Area() > 120*32 {
+			t.Errorf("damage %+v is not widget-sized", r)
+		}
+	}
+}
+
+func TestStandardSessionShape(t *testing.T) {
+	s := StandardSession()
+	if s.Len() != 30 {
+		t.Fatalf("session length = %d, want 30", s.Len())
+	}
+	for i, st := range s {
+		if st.Device != "phone" || st.Action != "key" || st.Arg == "" {
+			t.Errorf("step %d malformed: %+v", i, st)
+		}
+	}
+}
+
+func TestAsciiRendering(t *testing.T) {
+	f := GUIFrame(160, 120)
+	art := gfx.Ascii(f, 40)
+	if len(art) == 0 {
+		t.Fatal("empty ascii art")
+	}
+	lines := 0
+	for _, c := range art {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines < 5 || lines > 40 {
+		t.Errorf("ascii art lines = %d", lines)
+	}
+	b := gfx.NewBitmap(16, 8)
+	b.Set(0, 0, true)
+	b.Set(0, 1, true)
+	ba := gfx.AsciiBitmap(b)
+	if ba[0] != '#' {
+		t.Errorf("bitmap art starts with %q", ba[0])
+	}
+}

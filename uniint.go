@@ -1,0 +1,137 @@
+// Package uniint is the public facade of the universal-interaction
+// reproduction (Nakajima & Hasegawa, "Universal Interaction with Networked
+// Home Appliances", ICDCS 2002).
+//
+// A Session assembles the paper's complete pipeline in one process:
+//
+//	appliances ── HAVi middleware ── home application ── toolkit display
+//	     │                                                     │
+//	     └──────────── events                         UniInt server
+//	                                                        │ universal
+//	                                                        │ interaction
+//	                                                        │ protocol
+//	                                                  UniInt proxy
+//	                                                        │
+//	              PDA / phone / TV / voice / gesture / remote devices
+//
+// The subsystem packages live under internal/; this package wires them and
+// re-exports the types a downstream application touches.
+package uniint
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"uniint/internal/appliance"
+	"uniint/internal/core"
+	"uniint/internal/homeapp"
+	"uniint/internal/toolkit"
+	"uniint/internal/uniserver"
+)
+
+// DefaultWidth and DefaultHeight are the served desktop geometry used when
+// Options leaves them zero — the 640×480 surface of an era display.
+const (
+	DefaultWidth  = 640
+	DefaultHeight = 480
+)
+
+// Options configures a Session.
+type Options struct {
+	// Width, Height set the desktop geometry (defaults 640×480).
+	Width, Height int
+	// Name is the desktop name announced by the UniInt server.
+	Name string
+	// Appliances are attached to the home network before the GUI is
+	// first generated. More can be added later via Session.Home.
+	Appliances []appliance.Appliance
+}
+
+// Session is a fully wired universal-interaction stack.
+type Session struct {
+	// Home is the appliance household (HAVi network + simulators).
+	Home *appliance.Home
+	// Display is the window-system session the application renders into.
+	Display *toolkit.Display
+	// App is the home appliance application (composed control panels).
+	App *homeapp.App
+	// Server is the UniInt server exporting Display.
+	Server *uniserver.Server
+	// Proxy is the UniInt proxy (the paper's contribution).
+	Proxy *core.Proxy
+
+	closeOnce sync.Once
+	serverErr chan error
+	proxyErr  chan error
+}
+
+// NewSession assembles and starts the full stack. The proxy is connected
+// to the server over an in-process pipe; attach interaction devices with
+// Session.Proxy.AttachInput/AttachOutput and select them to begin.
+func NewSession(opts Options) (*Session, error) {
+	if opts.Width <= 0 {
+		opts.Width = DefaultWidth
+	}
+	if opts.Height <= 0 {
+		opts.Height = DefaultHeight
+	}
+	if opts.Name == "" {
+		opts.Name = "universal interaction"
+	}
+
+	home := appliance.NewHome()
+	for _, a := range opts.Appliances {
+		if _, err := home.Add(a); err != nil {
+			home.Close()
+			return nil, fmt.Errorf("uniint: attach %s: %w", a.Name(), err)
+		}
+	}
+	home.Network().WaitIdle()
+
+	display := toolkit.NewDisplay(opts.Width, opts.Height)
+	app := homeapp.New(home.Network(), display)
+	server := uniserver.New(display, opts.Name)
+
+	sc, cc := net.Pipe()
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- server.HandleConn(sc) }()
+
+	proxy, err := core.Dial(cc)
+	if err != nil {
+		app.Close()
+		server.Close()
+		home.Close()
+		return nil, fmt.Errorf("uniint: connect proxy: %w", err)
+	}
+	proxyErr := make(chan error, 1)
+	go func() { proxyErr <- proxy.Run() }()
+
+	return &Session{
+		Home:      home,
+		Display:   display,
+		App:       app,
+		Server:    server,
+		Proxy:     proxy,
+		serverErr: serverErr,
+		proxyErr:  proxyErr,
+	}, nil
+}
+
+// Close tears the whole stack down in dependency order and waits for the
+// connection goroutines to exit.
+func (s *Session) Close() {
+	s.closeOnce.Do(func() {
+		s.Proxy.Close()
+		s.Server.Close()
+		<-s.proxyErr
+		<-s.serverErr
+		s.App.Close()
+		s.Home.Close()
+	})
+}
+
+// WaitIdle blocks until the middleware has delivered all queued events
+// (appliance → GUI propagation). Protocol traffic is asynchronous; use
+// the devices' WaitFrames helpers for display-side synchronization.
+func (s *Session) WaitIdle() { s.Home.Network().WaitIdle() }
