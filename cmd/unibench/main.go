@@ -19,6 +19,7 @@ import (
 	"uniint/internal/havi"
 	"uniint/internal/havi/fcm"
 	"uniint/internal/homeapp"
+	"uniint/internal/metrics"
 	"uniint/internal/netsim"
 	"uniint/internal/rfb"
 	"uniint/internal/situation"
@@ -68,7 +69,47 @@ func run(reps int) error {
 	if err := e11(reps); err != nil {
 		return err
 	}
+	printMetrics()
 	return nil
+}
+
+// printMetrics reports the process-wide instrumentation accumulated over
+// the whole suite: the proxy/server hot-path counters and latency
+// histograms from internal/metrics, alongside the per-experiment timings
+// above.
+func printMetrics() {
+	fmt.Println("\n== process metrics (internal/metrics snapshot over the whole run) ==")
+	snap := metrics.Default().Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-36s %12d\n", name, snap.Counters[name])
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-36s %12d\n", name, snap.Gauges[name])
+	}
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Printf("%-36s count %8d  p50 %10v  p95 %10v\n", name, h.Count,
+			secs(h.Quantile(0.50)), secs(h.Quantile(0.95)))
+	}
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
 }
 
 func e11(reps int) error {

@@ -1,0 +1,258 @@
+// Command unihub is the multi-home hub daemon: one process hosting many
+// households' universal-interaction stacks behind a single listener.
+//
+// Each inbound connection opens with the routing preamble
+// ("UNIHUB/1 <home-id>\n"); the hub admits the home on first use (builds
+// its appliances, middleware, application and server) and hands the rest
+// of the connection to that home's unmodified UniInt server. Homes idle
+// past -idle are evicted; -max-homes caps residency.
+//
+//	unihub -listen :5900 -homes 64 -appliances tv,lamp
+//	unihub -demo -homes 64 -demo-devices 2        # in-process load proof
+//
+// A plain-text metrics page (internal/metrics) is served on -metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"uniint"
+	"uniint/internal/appliance"
+	"uniint/internal/core"
+	"uniint/internal/device"
+	"uniint/internal/hub"
+	"uniint/internal/metrics"
+	"uniint/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", ":5900", "address serving preamble-routed universal interaction connections")
+	metricsListen := flag.String("metrics", ":9190", "plain-text metrics endpoint address (empty disables)")
+	homes := flag.Int("homes", 64, "homes to pre-admit at startup")
+	classes := flag.String("appliances", "tv,lamp", "comma-separated appliance classes per home")
+	shards := flag.Int("shards", 64, "registry shard count (rounded up to a power of two)")
+	maxHomes := flag.Int("max-homes", 0, "resident home cap (0 = unlimited)")
+	idle := flag.Duration("idle", 10*time.Minute, "evict homes idle this long (0 disables)")
+	width := flag.Int("width", 320, "per-home desktop width")
+	height := flag.Int("height", 240, "per-home desktop height")
+	drainTimeout := flag.Duration("drain", 5*time.Second, "graceful drain window on shutdown")
+	demo := flag.Bool("demo", false, "run the multi-home demo workload in process, print metrics, exit")
+	demoDevices := flag.Int("demo-devices", 2, "interaction devices per home in -demo")
+	demoSteps := flag.Int("demo-steps", 30, "scripted interactions per device in -demo")
+	flag.Parse()
+
+	if err := run(config{
+		listen: *listen, metricsListen: *metricsListen,
+		homes: *homes, classes: *classes, shards: *shards,
+		maxHomes: *maxHomes, idle: *idle,
+		width: *width, height: *height, drainTimeout: *drainTimeout,
+		demo: *demo, demoDevices: *demoDevices, demoSteps: *demoSteps,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "unihub:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	listen, metricsListen string
+	homes, shards         int
+	classes               string
+	maxHomes              int
+	idle                  time.Duration
+	width, height         int
+	drainTimeout          time.Duration
+	demo                  bool
+	demoDevices           int
+	demoSteps             int
+}
+
+// homeFactory builds one household's full stack per admission.
+func homeFactory(classes []string, w, h int) hub.Factory {
+	return func(homeID string) (hub.Home, error) {
+		apps := make([]appliance.Appliance, 0, len(classes))
+		for i, class := range classes {
+			a, err := appliance.New(class, fmt.Sprintf("%s/%s-%d", homeID, class, i))
+			if err != nil {
+				return nil, err
+			}
+			apps = append(apps, a)
+		}
+		return uniint.NewSessionForHub(uniint.Options{
+			Width: w, Height: h, Name: homeID, Appliances: apps,
+		})
+	}
+}
+
+func splitClasses(s string) []string {
+	var out []string
+	for _, c := range strings.Split(s, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func run(cfg config) error {
+	classes := splitClasses(cfg.classes)
+	if len(classes) == 0 {
+		return fmt.Errorf("no appliance classes")
+	}
+	h, err := hub.New(hub.Options{
+		Factory:     homeFactory(classes, cfg.width, cfg.height),
+		Shards:      cfg.shards,
+		MaxHomes:    cfg.maxHomes,
+		IdleTimeout: cfg.idle,
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	start := time.Now()
+	for i := 0; i < cfg.homes; i++ {
+		if _, err := h.Admit(workload.HomeID(i)); err != nil {
+			return fmt.Errorf("pre-admit %s: %w", workload.HomeID(i), err)
+		}
+	}
+	fmt.Printf("hosting %d homes (%s each) after %v\n",
+		h.Homes(), cfg.classes, time.Since(start).Round(time.Millisecond))
+
+	if cfg.demo {
+		return runDemo(h, cfg)
+	}
+
+	if cfg.metricsListen != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = metrics.Default().WriteText(w)
+		})
+		mln, err := net.Listen("tcp", cfg.metricsListen)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer mln.Close()
+		go func() { _ = http.Serve(mln, mux) }()
+		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+	}
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("routing universal interaction connections on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- h.Serve(ln) }()
+	select {
+	case <-sig:
+		fmt.Println("\ndraining")
+		ln.Close()
+		if err := h.Drain(cfg.drainTimeout); err != nil {
+			fmt.Println(err)
+		}
+		<-serveErr
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}
+
+// runDemo drives the M homes × K devices workload through in-process
+// pipes — the zero-network proof that one process serves the whole load —
+// then prints the metrics the run produced.
+func runDemo(h *hub.Hub, cfg config) error {
+	loads := workload.MultiHome(workload.MultiHomeConfig{
+		Homes:          cfg.homes,
+		DevicesPerHome: cfg.demoDevices,
+		StepsPerDevice: cfg.demoSteps,
+		Seed:           1,
+	})
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.homes*cfg.demoDevices)
+	for _, home := range loads {
+		for _, dev := range home.Devices {
+			wg.Add(1)
+			go func(homeID, devID string, script workload.Script) {
+				defer wg.Done()
+				if err := runDevice(h, homeID, devID, script); err != nil {
+					errs <- fmt.Errorf("%s/%s: %w", homeID, devID, err)
+				}
+			}(home.HomeID, dev.DeviceID, dev.Script)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	steps := 0
+	for _, l := range loads {
+		steps += l.Steps()
+	}
+	fmt.Printf("demo: %d homes × %d devices × %d steps (%d interactions) in %v\n",
+		cfg.homes, cfg.demoDevices, cfg.demoSteps, steps, elapsed.Round(time.Millisecond))
+	fmt.Println("-- metrics --")
+	return metrics.Default().WriteText(os.Stdout) // includes hub/proxy/server counters
+}
+
+// runDevice connects one phone to its home through the hub's routing
+// path and replays its script.
+func runDevice(h *hub.Hub, homeID, devID string, script workload.Script) error {
+	client, server := net.Pipe()
+	routeDone := make(chan error, 1)
+	go func() { routeDone <- h.ServeConn(server) }()
+	// Whatever happens below, tear the transport down and wait for the
+	// routing goroutine — a leaked connection pins the home forever.
+	defer func() {
+		client.Close()
+		<-routeDone
+	}()
+	if err := hub.WritePreamble(client, homeID); err != nil {
+		return err
+	}
+	proxy, err := core.Dial(client)
+	if err != nil {
+		return err
+	}
+	phone := device.NewPhone(devID)
+	defer phone.Close()
+	proxyDone := make(chan error, 1)
+	go func() { proxyDone <- proxy.Run() }()
+	defer func() {
+		proxy.Close()
+		<-proxyDone
+	}()
+	if err := proxy.AttachInput(phone); err != nil {
+		return err
+	}
+	if err := proxy.SelectInput(devID); err != nil {
+		return err
+	}
+	for _, st := range script {
+		phone.PressKey(st.Arg)
+	}
+	// Let the pipeline absorb the tail of the script: each key press is
+	// press+release, i.e. two universal events.
+	want := int64(2 * len(script))
+	deadline := time.Now().Add(10 * time.Second)
+	for proxy.Stats().UniversalSent < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}

@@ -1,8 +1,10 @@
 // Command uniint-proxy is the user-side daemon: the UniInt proxy with a
 // set of simulated interaction devices and an interactive console for
-// driving them. It connects to a uniintd server over TCP.
+// driving them. It connects to a uniintd server over TCP, or — with
+// -home — to one household of a multi-home unihub.
 //
 //	uniint-proxy -server localhost:5900
+//	uniint-proxy -server localhost:5900 -home home-0007
 //
 // Console commands:
 //
@@ -31,20 +33,28 @@ import (
 	"uniint/internal/core"
 	"uniint/internal/device"
 	"uniint/internal/gfx"
+	"uniint/internal/hub"
 	"uniint/internal/situation"
 )
 
 func main() {
-	server := flag.String("server", "localhost:5900", "uniintd address")
+	server := flag.String("server", "localhost:5900", "uniintd or unihub address")
+	home := flag.String("home", "", "home ID when the server is a multi-home unihub")
 	flag.Parse()
-	if err := run(*server); err != nil {
+	if err := run(*server, *home); err != nil {
 		fmt.Fprintln(os.Stderr, "uniint-proxy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+func run(addr, home string) error {
+	var conn net.Conn
+	var err error
+	if home != "" {
+		conn, err = hub.DialHome(addr, home) // sends the routing preamble
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return err
 	}

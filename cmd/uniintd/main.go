@@ -52,7 +52,7 @@ func run(listen, classes string, tick time.Duration, width, height int) error {
 		}
 		counts[class]++
 		name := fmt.Sprintf("%s-%d", strings.ToUpper(class[:1])+class[1:], counts[class])
-		a, err := makeAppliance(class, name)
+		a, err := appliance.New(class, name)
 		if err != nil {
 			return err
 		}
@@ -94,22 +94,5 @@ func run(listen, classes string, tick time.Duration, width, height int) error {
 		return nil
 	case err := <-serveErr:
 		return err
-	}
-}
-
-func makeAppliance(class, name string) (appliance.Appliance, error) {
-	switch class {
-	case "tv":
-		return appliance.NewTV(name), nil
-	case "vcr":
-		return appliance.NewVCR(name), nil
-	case "amplifier", "amp":
-		return appliance.NewAmplifier(name), nil
-	case "aircon", "ac":
-		return appliance.NewAircon(name), nil
-	case "lamp", "light":
-		return appliance.NewLamp(name), nil
-	default:
-		return nil, fmt.Errorf("unknown appliance class %q", class)
 	}
 }

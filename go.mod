@@ -1,0 +1,3 @@
+module uniint
+
+go 1.24

@@ -1,6 +1,8 @@
 package appliance
 
 import (
+	"fmt"
+
 	"uniint/internal/havi"
 	"uniint/internal/havi/fcm"
 )
@@ -220,4 +222,24 @@ func StandardHome() (*Home, error) {
 		}
 	}
 	return h, nil
+}
+
+// New builds an appliance of the named class ("tv", "vcr", "amplifier",
+// "aircon", "lamp", with common aliases). The class vocabulary is shared
+// by uniintd's -appliances flag and the hub's per-home factories.
+func New(class, name string) (Appliance, error) {
+	switch class {
+	case "tv":
+		return NewTV(name), nil
+	case "vcr":
+		return NewVCR(name), nil
+	case "amplifier", "amp":
+		return NewAmplifier(name), nil
+	case "aircon", "ac":
+		return NewAircon(name), nil
+	case "lamp", "light":
+		return NewLamp(name), nil
+	default:
+		return nil, fmt.Errorf("appliance: unknown class %q", class)
+	}
 }

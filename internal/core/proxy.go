@@ -6,9 +6,22 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"uniint/internal/gfx"
+	"uniint/internal/metrics"
 	"uniint/internal/rfb"
+)
+
+// Process-wide instruments, resolved once so the hot paths touch only
+// atomics. Under the multi-home hub these aggregate across every proxy in
+// the process; per-proxy numbers stay available via Stats.
+var (
+	mRawEvents      = metrics.Default().Counter("proxy_raw_events_total")
+	mDroppedRaw     = metrics.Default().Counter("proxy_dropped_events_total")
+	mUniSent        = metrics.Default().Counter("proxy_universal_events_total")
+	mFrames         = metrics.Default().Counter("proxy_frames_presented_total")
+	mPresentSeconds = metrics.Default().Histogram("proxy_present_seconds", metrics.LatencyBuckets())
 )
 
 // Errors returned by proxy device management.
@@ -37,6 +50,11 @@ type Proxy struct {
 	running atomic.Bool
 	rearm   chan struct{}
 	wg      sync.WaitGroup
+
+	// presentMu serializes output presentation so mirror/selection
+	// changes can wait out an in-flight presentation (strict "no frames
+	// after return" semantics for RemoveMirror).
+	presentMu sync.Mutex
 
 	stats proxyStats
 }
@@ -377,11 +395,15 @@ func (p *Proxy) AddMirror(id string) error {
 	return nil
 }
 
-// RemoveMirror stops mirroring to the device.
+// RemoveMirror stops mirroring to the device. When it returns, no
+// further frames reach the device: an in-flight presentation (which
+// snapshots its targets before converting) is waited out.
 func (p *Proxy) RemoveMirror(id string) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	delete(p.mirrors, id)
+	p.mu.Unlock()
+	p.presentMu.Lock() // barrier: drain any in-flight presentation
+	p.presentMu.Unlock()
 }
 
 // Mirrors lists the devices currently mirrored.
@@ -424,8 +446,10 @@ func (p *Proxy) pumpInput(b *inputBinding) {
 				return
 			}
 			p.stats.rawEvents.Add(1)
+			mRawEvents.Inc()
 			if p.ActiveInput() != b.dev.ID() {
 				p.stats.droppedRaw.Add(1)
+				mDroppedRaw.Inc()
 				continue
 			}
 			for _, ue := range b.plugin.Translate(ev) {
@@ -449,8 +473,10 @@ func (p *Proxy) Inject(deviceID string, ev RawEvent) error {
 		return fmt.Errorf("%w: input %s", ErrUnknownDevice, deviceID)
 	}
 	p.stats.rawEvents.Add(1)
+	mRawEvents.Inc()
 	if active != deviceID {
 		p.stats.droppedRaw.Add(1)
+		mDroppedRaw.Inc()
 		return nil
 	}
 	for _, ue := range b.plugin.Translate(ev) {
@@ -470,6 +496,7 @@ func (p *Proxy) forward(ue UniEvent) error {
 	}
 	if err == nil {
 		p.stats.uniSent.Add(1)
+		mUniSent.Inc()
 	}
 	return err
 }
@@ -500,8 +527,12 @@ func (proxyHandler) Bell() {}
 func (proxyHandler) CutText(string) {}
 
 // presentCurrent converts the shadow framebuffer with the active output
-// plug-in (and each mirror's plug-in) and delivers the frames.
+// plug-in (and each mirror's plug-in) and delivers the frames. Presents
+// are serialized: the target snapshot and the deliveries happen under
+// presentMu so RemoveMirror can use it as a barrier.
 func (p *Proxy) presentCurrent() {
+	p.presentMu.Lock()
+	defer p.presentMu.Unlock()
 	p.mu.Lock()
 	targets := make([]*outputBinding, 0, 1+len(p.mirrors))
 	if b := p.outputs[p.activeOut]; b != nil {
@@ -519,6 +550,7 @@ func (p *Proxy) presentCurrent() {
 	if len(targets) == 0 {
 		return
 	}
+	start := time.Now()
 	frames := make([]Frame, len(targets))
 	p.client.WithFramebuffer(func(fb *gfx.Framebuffer) {
 		for i, b := range targets {
@@ -529,7 +561,9 @@ func (p *Proxy) presentCurrent() {
 		frames[i].Seq = b.seq.Add(1)
 		b.dev.Present(frames[i])
 		p.stats.frames.Add(1)
+		mFrames.Inc()
 	}
+	mPresentSeconds.ObserveDuration(time.Since(start))
 }
 
 // RefreshOutput forces a full-frame conversion and presentation without

@@ -1,0 +1,505 @@
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uniint/internal/metrics"
+)
+
+// stubHome is a minimal Home: echoes one byte per connection and records
+// lifecycle.
+type stubHome struct {
+	id     string
+	closed atomic.Bool
+	served atomic.Int64
+}
+
+func (s *stubHome) HandleConn(conn net.Conn) error {
+	defer conn.Close()
+	s.served.Add(1)
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != nil {
+		return err
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+func (s *stubHome) Close() { s.closed.Store(true) }
+
+// stubFactory counts creations per id.
+type stubFactory struct {
+	mu      sync.Mutex
+	created map[string]int
+	homes   map[string]*stubHome
+}
+
+func newStubFactory() *stubFactory {
+	return &stubFactory{created: make(map[string]int), homes: make(map[string]*stubHome)}
+}
+
+func (f *stubFactory) factory(id string) (Home, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.created[id]++
+	h := &stubHome{id: id}
+	f.homes[id] = h
+	return h, nil
+}
+
+func (f *stubFactory) creations(id string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.created[id]
+}
+
+func (f *stubFactory) home(id string) *stubHome {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.homes[id]
+}
+
+func newTestHub(t *testing.T, opts Options) (*Hub, *stubFactory) {
+	t.Helper()
+	f := newStubFactory()
+	if opts.Factory == nil {
+		opts.Factory = f.factory
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	h, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return h, f
+}
+
+func TestAdmitOnce(t *testing.T) {
+	h, f := newTestHub(t, Options{Shards: 4})
+	a, err := h.Admit("home-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Admit("home-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second admission returned a different home")
+	}
+	if got := f.creations("home-1"); got != 1 {
+		t.Fatalf("factory ran %d times, want 1", got)
+	}
+	if h.Homes() != 1 {
+		t.Fatalf("Homes() = %d, want 1", h.Homes())
+	}
+}
+
+func TestAdmitConcurrentSingleCreation(t *testing.T) {
+	h, f := newTestHub(t, Options{Shards: 8})
+	const workers, homes = 32, 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*homes)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < homes; i++ {
+				if _, err := h.Admit(fmt.Sprintf("home-%03d", i)); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if h.Homes() != homes {
+		t.Fatalf("Homes() = %d, want %d", h.Homes(), homes)
+	}
+	for i := 0; i < homes; i++ {
+		id := fmt.Sprintf("home-%03d", i)
+		if got := f.creations(id); got != 1 {
+			t.Fatalf("%s created %d times, want 1", id, got)
+		}
+	}
+	if got := len(h.HomeIDs()); got != homes {
+		t.Fatalf("HomeIDs() has %d entries, want %d", got, homes)
+	}
+}
+
+func TestGetDoesNotAdmit(t *testing.T) {
+	h, _ := newTestHub(t, Options{})
+	if _, err := h.Get("nope"); !errors.Is(err, ErrUnknownHome) {
+		t.Fatalf("Get on absent home: %v, want ErrUnknownHome", err)
+	}
+	if h.Homes() != 0 {
+		t.Fatal("Get must not admit")
+	}
+	if _, err := h.Admit("yes"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get("yes"); err != nil {
+		t.Fatalf("Get after admit: %v", err)
+	}
+}
+
+func TestMaxHomes(t *testing.T) {
+	h, _ := newTestHub(t, Options{MaxHomes: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := h.Admit(fmt.Sprintf("h%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Admit("h2"); !errors.Is(err, ErrFull) {
+		t.Fatalf("third admission: %v, want ErrFull", err)
+	}
+	// Resident homes stay reachable at capacity.
+	if _, err := h.Admit("h0"); err != nil {
+		t.Fatalf("resident admission at capacity: %v", err)
+	}
+	// Eviction frees a slot.
+	if !h.Evict("h0") {
+		t.Fatal("evict failed")
+	}
+	if _, err := h.Admit("h2"); err != nil {
+		t.Fatalf("admission after eviction: %v", err)
+	}
+}
+
+func TestRouteServesConnection(t *testing.T) {
+	h, f := newTestHub(t, Options{})
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- h.Route("home-a", server) }()
+
+	if _, err := client.Write([]byte{0x42}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := client.Read(buf); err != nil || buf[0] != 0x42 {
+		t.Fatalf("echo: %v %x", err, buf)
+	}
+	client.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := f.home("home-a").served.Load(); got != 1 {
+		t.Fatalf("served = %d, want 1", got)
+	}
+	if h.Connections() != 0 {
+		t.Fatalf("connections = %d after disconnect, want 0", h.Connections())
+	}
+}
+
+func TestServeConnPreambleRouting(t *testing.T) {
+	h, f := newTestHub(t, Options{})
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- h.ServeConn(server) }()
+
+	if err := WritePreamble(client, "home-42"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write([]byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := client.Read(buf); err != nil || buf[0] != 7 {
+		t.Fatalf("echo through preamble routing: %v %x", err, buf)
+	}
+	client.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if f.home("home-42") == nil {
+		t.Fatal("preamble did not admit home-42")
+	}
+}
+
+func TestServeConnBadPreamble(t *testing.T) {
+	h, _ := newTestHub(t, Options{})
+	for _, line := range []string{"GARBAGE home-1\n", "UNIHUB/1 \n", strings.Repeat("x", 400)} {
+		client, server := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- h.ServeConn(server) }()
+		go func() {
+			client.Write([]byte(line))
+			client.Close()
+		}()
+		if err := <-done; !errors.Is(err, ErrBadPreamble) {
+			t.Fatalf("line %q: %v, want ErrBadPreamble", line[:min(len(line), 20)], err)
+		}
+	}
+	if h.Homes() != 0 {
+		t.Fatal("bad preambles must not admit homes")
+	}
+}
+
+func TestPreambleRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePreamble(&sb, "kitchen-home"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := ReadPreamble(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "kitchen-home" {
+		t.Fatalf("round trip = %q", id)
+	}
+	// The reader must not consume past the newline.
+	r := strings.NewReader(sb.String() + "PROTO")
+	if _, err := ReadPreamble(r); err != nil {
+		t.Fatal(err)
+	}
+	rest := make([]byte, 5)
+	if _, err := r.Read(rest); err != nil || string(rest) != "PROTO" {
+		t.Fatalf("preamble over-read: %q %v", rest, err)
+	}
+	if err := WritePreamble(&sb, "has space"); err == nil {
+		t.Fatal("home id with space must be rejected")
+	}
+	if err := WritePreamble(&sb, ""); err == nil {
+		t.Fatal("empty home id must be rejected")
+	}
+}
+
+func TestEvictPinnedHomeRefused(t *testing.T) {
+	h, f := newTestHub(t, Options{})
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- h.Route("busy", server) }()
+	// Wait for the connection to pin the home.
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Connections() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never pinned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if h.Evict("busy") {
+		t.Fatal("evicted a home with a live connection")
+	}
+	if f.home("busy").closed.Load() {
+		t.Fatal("home closed while pinned")
+	}
+	client.Close()
+	<-done
+	if !h.Evict("busy") {
+		t.Fatal("eviction after disconnect failed")
+	}
+	if !f.home("busy").closed.Load() {
+		t.Fatal("evicted home not closed")
+	}
+}
+
+func TestIdleSweep(t *testing.T) {
+	h, f := newTestHub(t, Options{IdleTimeout: 10 * time.Millisecond})
+	if _, err := h.Admit("sleepy"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	h.sweep()
+	if h.Homes() != 0 {
+		t.Fatalf("idle home survived sweep: %d resident", h.Homes())
+	}
+	if !f.home("sleepy").closed.Load() {
+		t.Fatal("swept home not closed")
+	}
+	// Re-admission after eviction works.
+	if _, err := h.Admit("sleepy"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.creations("sleepy"); got != 2 {
+		t.Fatalf("creations = %d, want 2", got)
+	}
+}
+
+func TestDrainRejectsNewHomes(t *testing.T) {
+	h, _ := newTestHub(t, Options{})
+	if _, err := h.Admit("resident"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Admit("newcomer"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("admission while draining: %v, want ErrDraining", err)
+	}
+	// Resident homes keep serving while draining.
+	if _, err := h.Admit("resident"); err != nil {
+		t.Fatalf("resident lookup while draining: %v", err)
+	}
+}
+
+func TestCloseShutsHomesAndRejects(t *testing.T) {
+	h, f := newTestHub(t, Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := h.Admit(fmt.Sprintf("h%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+	for i := 0; i < 5; i++ {
+		if !f.home(fmt.Sprintf("h%d", i)).closed.Load() {
+			t.Fatalf("h%d not closed", i)
+		}
+	}
+	if h.Homes() != 0 {
+		t.Fatalf("Homes() = %d after Close", h.Homes())
+	}
+	if _, err := h.Admit("late"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("admission after close: %v, want ErrClosed", err)
+	}
+	h.Close() // idempotent
+}
+
+func TestShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 16}, {1, 1}, {3, 4}, {16, 16}, {17, 32}, {100, 128},
+	} {
+		opts := Options{Factory: func(string) (Home, error) { return &stubHome{}, nil },
+			Shards: tc.in, Metrics: metrics.NewRegistry()}
+		h, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(h.shards); got != tc.want {
+			t.Fatalf("Shards %d → %d shards, want %d", tc.in, got, tc.want)
+		}
+		h.Close()
+	}
+}
+
+func TestConcurrentRouteAndEvict(t *testing.T) {
+	h, _ := newTestHub(t, Options{Shards: 4})
+	const homes = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Evictor hammers all homes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for i := 0; i < homes; i++ {
+					h.Evict(fmt.Sprintf("h%d", i))
+				}
+			}
+		}
+	}()
+	// Routers keep connecting.
+	var served atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("h%d", (w+i)%homes)
+				client, server := net.Pipe()
+				done := make(chan error, 1)
+				go func() { done <- h.Route(id, server) }()
+				client.Write([]byte{1})
+				buf := make([]byte, 1)
+				if _, err := client.Read(buf); err == nil {
+					served.Add(1)
+				}
+				client.Close()
+				<-done
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no connection survived route/evict churn")
+	}
+}
+
+func TestHubMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h, _ := newTestHub(t, Options{Metrics: reg})
+	if _, err := h.Admit("m1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Admit("m1"); err != nil {
+		t.Fatal(err)
+	}
+	h.Evict("m1")
+	s := reg.Snapshot()
+	if s.Counters["hub_admissions_total"] != 1 {
+		t.Fatalf("admissions = %d", s.Counters["hub_admissions_total"])
+	}
+	if s.Counters["hub_route_hits_total"] != 1 || s.Counters["hub_route_misses_total"] != 1 {
+		t.Fatalf("hits/misses = %d/%d", s.Counters["hub_route_hits_total"], s.Counters["hub_route_misses_total"])
+	}
+	if s.Counters["hub_evictions_total"] != 1 {
+		t.Fatalf("evictions = %d", s.Counters["hub_evictions_total"])
+	}
+	if s.Gauges["hub_homes"] != 0 {
+		t.Fatalf("hub_homes gauge = %d, want 0", s.Gauges["hub_homes"])
+	}
+}
+
+func TestAdmitRacingCloseLeaksNothing(t *testing.T) {
+	// Homes admitted concurrently with Close must either fail admission
+	// or end up closed — never resident in a closed hub.
+	for round := 0; round < 20; round++ {
+		f := newStubFactory()
+		h, err := New(Options{Factory: f.factory, Metrics: metrics.NewRegistry()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					_, _ = h.Admit(fmt.Sprintf("r%d-w%d-h%d", round, w, i))
+				}
+			}(w)
+		}
+		h.Close()
+		wg.Wait()
+		if got := h.Homes(); got != 0 {
+			t.Fatalf("round %d: %d homes resident after Close", round, got)
+		}
+		f.mu.Lock()
+		for id, home := range f.homes {
+			if !home.closed.Load() {
+				t.Fatalf("round %d: %s created but never closed", round, id)
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+func TestFactoryErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	h, _ := newTestHub(t, Options{Factory: func(id string) (Home, error) {
+		return nil, boom
+	}})
+	if _, err := h.Admit("x"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if h.Homes() != 0 {
+		t.Fatal("failed admission left a resident home")
+	}
+}

@@ -1,0 +1,83 @@
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+)
+
+// The routing preamble is the one hub-specific wire addition: before the
+// universal-interaction handshake begins, the connecting proxy sends a
+// single line naming the home it wants,
+//
+//	UNIHUB/1 <home-id>\n
+//
+// and the hub routes the connection to that home's stack. Everything
+// after the newline is the unmodified protocol, so the per-home servers
+// stay unchanged (the paper's "we need not modify existing servers"
+// claim survives multi-tenancy).
+const (
+	preambleMagic = "UNIHUB/1 "
+	// MaxPreambleLen bounds the preamble line, magic and newline
+	// included — a cheap defence against garbage connections.
+	MaxPreambleLen = 256
+)
+
+// ErrBadPreamble reports a malformed routing preamble.
+var ErrBadPreamble = errors.New("hub: bad routing preamble")
+
+// WritePreamble sends the routing line for homeID on conn.
+func WritePreamble(conn io.Writer, homeID string) error {
+	if homeID == "" || strings.ContainsAny(homeID, " \n") {
+		return fmt.Errorf("%w: invalid home id %q", ErrBadPreamble, homeID)
+	}
+	line := preambleMagic + homeID + "\n"
+	if len(line) > MaxPreambleLen {
+		return fmt.Errorf("%w: home id too long", ErrBadPreamble)
+	}
+	_, err := io.WriteString(conn, line)
+	return err
+}
+
+// ReadPreamble consumes the routing line from conn and returns the home
+// ID. It reads byte-at-a-time up to MaxPreambleLen so no protocol bytes
+// beyond the newline are buffered away from the home's server.
+func ReadPreamble(conn io.Reader) (string, error) {
+	var line []byte
+	var b [1]byte
+	for len(line) < MaxPreambleLen {
+		if _, err := io.ReadFull(conn, b[:]); err != nil {
+			return "", fmt.Errorf("%w: %v", ErrBadPreamble, err)
+		}
+		if b[0] == '\n' {
+			s := string(line)
+			if !strings.HasPrefix(s, preambleMagic) {
+				return "", fmt.Errorf("%w: missing magic", ErrBadPreamble)
+			}
+			id := s[len(preambleMagic):]
+			if id == "" {
+				return "", fmt.Errorf("%w: empty home id", ErrBadPreamble)
+			}
+			return id, nil
+		}
+		line = append(line, b[0])
+	}
+	return "", fmt.Errorf("%w: line too long", ErrBadPreamble)
+}
+
+// DialHome connects to a hub at addr, sends the routing preamble for
+// homeID and returns the connection ready for the protocol handshake
+// (pass it to core.Dial).
+func DialHome(addr, homeID string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := WritePreamble(conn, homeID); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("events_total") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("sessions")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.02, 0.2, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	want := []uint64{1, 1, 1, 2} // last is the +Inf overflow bucket
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if math.Abs(s.Sum-5.2225) > 1e-9 {
+		t.Fatalf("sum = %g, want 5.2225", s.Sum)
+	}
+	if m := s.Mean(); math.Abs(m-5.2225/5) > 1e-9 {
+		t.Fatalf("mean = %g", m)
+	}
+}
+
+func TestHistogramBoundaryLandsInBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // exactly on a bound: belongs to that bucket (le semantics)
+	s := h.Snapshot()
+	if s.Counts[0] != 1 {
+		t.Fatalf("counts = %v, want the sample in bucket le=1", s.Counts)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram(LatencyBuckets())
+	for i := 0; i < 1000; i++ {
+		h.ObserveDuration(time.Duration(i) * time.Microsecond) // 0..1ms uniform
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 < 100e-6 || p50 > 900e-6 {
+		t.Fatalf("p50 = %g, want ~500µs", p50)
+	}
+	if q := s.Quantile(0.99); q < p50 {
+		t.Fatalf("p99 %g < p50 %g", q, p50)
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot quantile should be 0")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(LatencyBuckets())
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(seed*i%100) * 1e-5)
+			}
+		}(w + 1)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	var sum uint64
+	s := h.Snapshot()
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*per)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("homes").Set(64)
+	h := r.Histogram("route_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"a_total 1\n",
+		"b_total 2\n",
+		"homes 64\n",
+		"route_seconds_bucket{le=\"0.001\"} 1\n",
+		"route_seconds_bucket{le=\"0.01\"} 1\n",
+		"route_seconds_bucket{le=\"+Inf\"} 2\n",
+		"route_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Fatal("counters not sorted by name")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Add(1)
+	s1 := r.Snapshot()
+	c.Add(10)
+	if s1.Counters["x"] != 1 {
+		t.Fatal("snapshot mutated after capture")
+	}
+	if r.Snapshot().Counters["x"] != 11 {
+		t.Fatal("registry did not advance")
+	}
+}
+
+func TestDefaultRegistryShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return the same registry")
+	}
+}

@@ -336,6 +336,20 @@ type PreparedUpdate struct {
 // Empty reports whether the update carries no rectangles.
 func (p *PreparedUpdate) Empty() bool { return p == nil || len(p.rects) == 0 }
 
+// Size returns the update's on-wire size in bytes (message header plus
+// per-rectangle headers and encoded bodies) — the bandwidth-side metric
+// of an update before it is transmitted.
+func (p *PreparedUpdate) Size() int {
+	if p.Empty() {
+		return 0
+	}
+	n := 4 // message type + pf generation + rect count
+	for _, body := range p.bodies {
+		n += 12 + len(body)
+	}
+	return n
+}
+
 // PrepareUpdate encodes the given rectangles against fb using the client's
 // current pixel format. fb may be nil when every rectangle is a CopyRect.
 func (s *ServerConn) PrepareUpdate(fb *gfx.Framebuffer, rects []UpdateRect) (*PreparedUpdate, error) {

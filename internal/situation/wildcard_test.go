@@ -1,0 +1,151 @@
+package situation
+
+import "testing"
+
+// Wildcard semantics of Condition.Matches: empty strings and nil bool
+// pointers are "don't care" terms, while set pointers constrain exactly —
+// Bool(false) is a real constraint, not a wildcard.
+
+func TestNilBoolPointersAreWildcards(t *testing.T) {
+	c := Condition{} // HandsBusy and Seated both nil
+	for _, s := range []Situation{
+		{HandsBusy: true, Seated: true},
+		{HandsBusy: true, Seated: false},
+		{HandsBusy: false, Seated: true},
+		{HandsBusy: false, Seated: false},
+	} {
+		if !c.Matches(s) {
+			t.Errorf("nil pointers must match %+v", s)
+		}
+	}
+}
+
+func TestSetBoolPointersConstrainExactly(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Condition
+		s    Situation
+		want bool
+	}{
+		{"HandsBusy false matches false", Condition{HandsBusy: Bool(false)}, Situation{}, true},
+		{"HandsBusy false rejects true", Condition{HandsBusy: Bool(false)}, Situation{HandsBusy: true}, false},
+		{"HandsBusy true rejects false", Condition{HandsBusy: Bool(true)}, Situation{}, false},
+		{"Seated false matches false", Condition{Seated: Bool(false)}, Situation{}, true},
+		{"Seated false rejects true", Condition{Seated: Bool(false)}, Situation{Seated: true}, false},
+		{"Seated true rejects false", Condition{Seated: Bool(true)}, Situation{}, false},
+		{"both set both match", Condition{HandsBusy: Bool(true), Seated: Bool(false)},
+			Situation{HandsBusy: true}, true},
+		{"both set one fails", Condition{HandsBusy: Bool(true), Seated: Bool(true)},
+			Situation{HandsBusy: true}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.c.Matches(tt.s); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEmptyStringWildcards(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Condition
+		s    Situation
+		want bool
+	}{
+		{"empty location matches any", Condition{Activity: "cooking"},
+			Situation{Location: "garage", Activity: "cooking"}, true},
+		{"empty activity matches any", Condition{Location: "kitchen"},
+			Situation{Location: "kitchen", Activity: "whatever"}, true},
+		{"empty condition matches empty situation", Condition{}, Situation{}, true},
+		// A set condition term never matches the empty situation string:
+		// an unknown location is not "kitchen".
+		{"set location rejects empty situation", Condition{Location: "kitchen"}, Situation{}, false},
+		{"set activity rejects empty situation", Condition{Activity: "cooking"}, Situation{}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.c.Matches(tt.s); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// Tie-breaking between equally specific rules: same priority, both
+// matching — declaration order decides, independently per slot.
+
+func TestEqualPriorityTieBreaksByDeclarationOrder(t *testing.T) {
+	sel := &fakeSelector{}
+	rules := []Rule{
+		{Name: "first", Priority: 5, When: Condition{Location: "kitchen"},
+			InputClass: "voice", OutputClass: "tv"},
+		{Name: "second", Priority: 5, When: Condition{Location: "kitchen"},
+			InputClass: "phone", OutputClass: "phone"},
+	}
+	e := NewEngine(sel, rules)
+	d := e.SetSituation(Situation{Location: "kitchen"})
+	if d.InputRule != "first" || d.InputClass != "voice" {
+		t.Errorf("input tie broke to %q/%q, want first/voice", d.InputRule, d.InputClass)
+	}
+	if d.OutputRule != "first" || d.OutputClass != "tv" {
+		t.Errorf("output tie broke to %q/%q, want first/tv", d.OutputRule, d.OutputClass)
+	}
+}
+
+func TestEqualPriorityTieFallsToSecondOnFailure(t *testing.T) {
+	// The declaration-order winner's device is missing: the engine must
+	// fall to the equally specific runner-up, and record the failure.
+	sel := &fakeSelector{refuse: map[string]bool{"voice": true}}
+	rules := []Rule{
+		{Name: "first", Priority: 5, InputClass: "voice"},
+		{Name: "second", Priority: 5, InputClass: "phone"},
+	}
+	e := NewEngine(sel, rules)
+	d := e.SetSituation(Situation{})
+	if d.InputRule != "second" || d.InputClass != "phone" {
+		t.Errorf("tie fallback chose %q/%q, want second/phone", d.InputRule, d.InputClass)
+	}
+	if d.InputErr == nil {
+		t.Error("first rule's failure must be recorded")
+	}
+}
+
+func TestMoreSpecificRuleLosesToHigherPriority(t *testing.T) {
+	// Specificity does not beat priority: a fully wildcarded
+	// higher-priority rule wins over a precisely matching lower one.
+	sel := &fakeSelector{}
+	rules := []Rule{
+		{Name: "precise", Priority: 1,
+			When: Condition{Location: "kitchen", Activity: "cooking",
+				HandsBusy: Bool(true), Seated: Bool(false)},
+			InputClass: "phone"},
+		{Name: "wildcard", Priority: 2, InputClass: "pda"},
+	}
+	e := NewEngine(sel, rules)
+	d := e.SetSituation(Situation{Location: "kitchen", Activity: "cooking", HandsBusy: true})
+	if d.InputRule != "wildcard" {
+		t.Errorf("winner = %q, want the higher-priority wildcard rule", d.InputRule)
+	}
+}
+
+func TestInputAndOutputTiesResolveIndependently(t *testing.T) {
+	// One slot's winner failing must not drag the other slot with it.
+	sel := &fakeSelector{refuse: map[string]bool{"tv": true}}
+	rules := []Rule{
+		{Name: "first", Priority: 5, InputClass: "voice", OutputClass: "tv"},
+		{Name: "second", Priority: 5, InputClass: "phone", OutputClass: "phone"},
+	}
+	e := NewEngine(sel, rules)
+	d := e.SetSituation(Situation{})
+	if d.InputRule != "first" || d.InputClass != "voice" {
+		t.Errorf("input = %q/%q, want first/voice", d.InputRule, d.InputClass)
+	}
+	if d.OutputRule != "second" || d.OutputClass != "phone" {
+		t.Errorf("output = %q/%q, want second/phone", d.OutputRule, d.OutputClass)
+	}
+	if d.OutputErr == nil {
+		t.Error("tv failure must be recorded")
+	}
+}

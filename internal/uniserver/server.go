@@ -14,10 +14,25 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 
 	"uniint/internal/gfx"
+	"uniint/internal/metrics"
 	"uniint/internal/rfb"
 	"uniint/internal/toolkit"
+)
+
+// Process-wide instruments, resolved once so the hot paths touch only
+// atomics. Under the multi-home hub these aggregate across every home's
+// server in the process.
+var (
+	mSessions      = metrics.Default().Gauge("server_sessions")
+	mKeyEvents     = metrics.Default().Counter("server_key_events_total")
+	mPointerEvents = metrics.Default().Counter("server_pointer_events_total")
+	mUpdatesSent   = metrics.Default().Counter("server_updates_sent_total")
+	mUpdateBytes   = metrics.Default().Counter("server_update_bytes_total")
+	mUpdateDrops   = metrics.Default().Counter("server_update_drops_total")
+	mEncodeSeconds = metrics.Default().Histogram("server_encode_seconds", metrics.LatencyBuckets())
 )
 
 // Server exports one display session to any number of proxy connections.
@@ -72,6 +87,7 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	}
 	s.sessions[sess] = struct{}{}
 	s.mu.Unlock()
+	mSessions.Inc()
 
 	go sess.writeLoop()
 	err = rc.Serve(sess)
@@ -79,6 +95,7 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	s.mu.Lock()
 	delete(s.sessions, sess)
 	s.mu.Unlock()
+	mSessions.Dec()
 	rc.Close()
 	close(sess.quit)
 	<-sess.writerDone
@@ -172,8 +189,11 @@ func (c *session) writeLoop() {
 				// Transport failure: the read loop will observe it and
 				// tear the session down; keep draining so enqueuers
 				// never block on a dead session.
+				mUpdateDrops.Inc()
 				continue
 			}
+			mUpdatesSent.Inc()
+			mUpdateBytes.Add(int64(prep.Size()))
 		case <-c.quit:
 			return
 		}
@@ -184,11 +204,13 @@ var _ rfb.ServerHandler = (*session)(nil)
 
 // KeyEvent implements rfb.ServerHandler: universal input → window system.
 func (c *session) KeyEvent(ev rfb.KeyEvent) {
+	mKeyEvents.Inc()
 	c.srv.display.InjectKey(ev.Down, toolkit.Key(ev.Key))
 }
 
 // PointerEvent implements rfb.ServerHandler.
 func (c *session) PointerEvent(ev rfb.PointerEvent) {
+	mPointerEvents.Inc()
 	c.srv.display.InjectPointer(int(ev.X), int(ev.Y), ev.Buttons)
 }
 
@@ -260,9 +282,11 @@ func (c *session) send(rects []gfx.Rect) {
 		prep *rfb.PreparedUpdate
 		err  error
 	)
+	start := time.Now()
 	c.srv.display.WithFramebuffer(func(fb *gfx.Framebuffer) {
 		prep, err = c.conn.PrepareUpdate(fb, urs)
 	})
+	mEncodeSeconds.ObserveDuration(time.Since(start))
 	if err != nil {
 		return // encoding failure: drop the update, connection stays up
 	}

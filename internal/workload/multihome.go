@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Multi-home load generation: the workload behind the hub experiments.
+// A MultiHomeConfig describes M homes × K devices; MultiHome expands it
+// into per-home, per-device scripted interaction sessions, deterministic
+// under a seed so benchmark runs are reproducible.
+
+// MultiHomeConfig sizes a multi-home workload.
+type MultiHomeConfig struct {
+	// Homes is the number of households (M).
+	Homes int
+	// DevicesPerHome is the number of interaction devices per home (K,
+	// default 1).
+	DevicesPerHome int
+	// StepsPerDevice is the scripted session length per device
+	// (default 30, the canonical session length).
+	StepsPerDevice int
+	// Seed makes the generated scripts deterministic. Homes and devices
+	// get distinct derived seeds so no two scripts are identical.
+	Seed int64
+}
+
+// DeviceLoad is one device's scripted session within a home.
+type DeviceLoad struct {
+	// DeviceID is unique within the home ("dev-00", "dev-01", …).
+	DeviceID string
+	// Script is the device's interaction session.
+	Script Script
+}
+
+// HomeLoad is one home's share of a multi-home workload.
+type HomeLoad struct {
+	// HomeID is the hub routing key.
+	HomeID string
+	// Devices holds one scripted session per interaction device.
+	Devices []DeviceLoad
+}
+
+// Steps counts the scripted interactions across all devices.
+func (h HomeLoad) Steps() int {
+	n := 0
+	for _, d := range h.Devices {
+		n += len(d.Script)
+	}
+	return n
+}
+
+// HomeID formats the canonical hub home ID for index i.
+func HomeID(i int) string { return fmt.Sprintf("home-%04d", i) }
+
+// MultiHome expands a config into per-home device scripts.
+func MultiHome(cfg MultiHomeConfig) []HomeLoad {
+	if cfg.DevicesPerHome <= 0 {
+		cfg.DevicesPerHome = 1
+	}
+	if cfg.StepsPerDevice <= 0 {
+		cfg.StepsPerDevice = 30
+	}
+	out := make([]HomeLoad, 0, cfg.Homes)
+	for m := 0; m < cfg.Homes; m++ {
+		home := HomeLoad{HomeID: HomeID(m)}
+		for k := 0; k < cfg.DevicesPerHome; k++ {
+			seed := cfg.Seed + int64(m)*1_000_003 + int64(k)*10_007
+			home.Devices = append(home.Devices, DeviceLoad{
+				DeviceID: fmt.Sprintf("dev-%02d", k),
+				Script:   RandomSession(cfg.StepsPerDevice, seed),
+			})
+		}
+		out = append(out, home)
+	}
+	return out
+}
+
+// sessionKeys is the weighted key mix of a realistic control-panel
+// session: mostly focus traversal and activation, with value nudges.
+var sessionKeys = []struct {
+	key    string
+	weight int
+}{
+	{"#", 30},  // focus next
+	{"ok", 25}, // activate
+	{"6", 15},  // value right
+	{"4", 10},  // value left
+	{"2", 10},  // focus up
+	{"8", 10},  // focus down
+}
+
+// RandomSession generates a seeded phone-keypad interaction session of
+// the given length, drawn from the weighted key mix. Every step uses the
+// phone class so scripts replay identically across output devices, like
+// StandardSession.
+func RandomSession(steps int, seed int64) Script {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for _, k := range sessionKeys {
+		total += k.weight
+	}
+	s := make(Script, 0, steps)
+	for i := 0; i < steps; i++ {
+		n := rng.Intn(total)
+		for _, k := range sessionKeys {
+			if n < k.weight {
+				s = append(s, Step{Device: "phone", Action: "key", Arg: k.key})
+				break
+			}
+			n -= k.weight
+		}
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package workload
+
+import "testing"
+
+func TestMultiHomeShape(t *testing.T) {
+	loads := MultiHome(MultiHomeConfig{Homes: 8, DevicesPerHome: 3, StepsPerDevice: 12, Seed: 7})
+	if len(loads) != 8 {
+		t.Fatalf("homes = %d, want 8", len(loads))
+	}
+	seen := map[string]bool{}
+	for _, h := range loads {
+		if seen[h.HomeID] {
+			t.Fatalf("duplicate home id %s", h.HomeID)
+		}
+		seen[h.HomeID] = true
+		if len(h.Devices) != 3 {
+			t.Fatalf("%s has %d devices, want 3", h.HomeID, len(h.Devices))
+		}
+		if h.Steps() != 3*12 {
+			t.Fatalf("%s steps = %d, want 36", h.HomeID, h.Steps())
+		}
+		for _, d := range h.Devices {
+			if len(d.Script) != 12 {
+				t.Fatalf("%s/%s script len = %d, want 12", h.HomeID, d.DeviceID, len(d.Script))
+			}
+			for _, st := range d.Script {
+				if st.Device != "phone" || st.Action != "key" || st.Arg == "" {
+					t.Fatalf("bad step %+v", st)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiHomeDefaults(t *testing.T) {
+	loads := MultiHome(MultiHomeConfig{Homes: 2})
+	if len(loads) != 2 || len(loads[0].Devices) != 1 || len(loads[0].Devices[0].Script) != 30 {
+		t.Fatalf("defaults not applied: %+v", loads)
+	}
+}
+
+func TestMultiHomeDeterministicAndDistinct(t *testing.T) {
+	a := MultiHome(MultiHomeConfig{Homes: 4, DevicesPerHome: 2, StepsPerDevice: 20, Seed: 42})
+	b := MultiHome(MultiHomeConfig{Homes: 4, DevicesPerHome: 2, StepsPerDevice: 20, Seed: 42})
+	for i := range a {
+		for j := range a[i].Devices {
+			for k := range a[i].Devices[j].Script {
+				if a[i].Devices[j].Script[k] != b[i].Devices[j].Script[k] {
+					t.Fatal("same seed produced different scripts")
+				}
+			}
+		}
+	}
+	// Distinct homes should not replay the identical script (seeds are
+	// derived per home/device).
+	same := true
+	for k := range a[0].Devices[0].Script {
+		if a[0].Devices[0].Script[k] != a[1].Devices[0].Script[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two homes generated identical scripts")
+	}
+}
+
+func TestHomeIDFormat(t *testing.T) {
+	if HomeID(7) != "home-0007" || HomeID(123) != "home-0123" {
+		t.Fatalf("HomeID format: %s %s", HomeID(7), HomeID(123))
+	}
+}

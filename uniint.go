@@ -66,10 +66,10 @@ type Session struct {
 	proxyErr  chan error
 }
 
-// NewSession assembles and starts the full stack. The proxy is connected
-// to the server over an in-process pipe; attach interaction devices with
-// Session.Proxy.AttachInput/AttachOutput and select them to begin.
-func NewSession(opts Options) (*Session, error) {
+// assemble builds the server side of the stack shared by NewSession and
+// NewSessionForHub: appliances on a fresh middleware network, the
+// composed-GUI application and the exporting server.
+func assemble(opts Options) (*appliance.Home, *toolkit.Display, *homeapp.App, *uniserver.Server, error) {
 	if opts.Width <= 0 {
 		opts.Width = DefaultWidth
 	}
@@ -84,7 +84,7 @@ func NewSession(opts Options) (*Session, error) {
 	for _, a := range opts.Appliances {
 		if _, err := home.Add(a); err != nil {
 			home.Close()
-			return nil, fmt.Errorf("uniint: attach %s: %w", a.Name(), err)
+			return nil, nil, nil, nil, fmt.Errorf("uniint: attach %s: %w", a.Name(), err)
 		}
 	}
 	home.Network().WaitIdle()
@@ -92,6 +92,17 @@ func NewSession(opts Options) (*Session, error) {
 	display := toolkit.NewDisplay(opts.Width, opts.Height)
 	app := homeapp.New(home.Network(), display)
 	server := uniserver.New(display, opts.Name)
+	return home, display, app, server, nil
+}
+
+// NewSession assembles and starts the full stack. The proxy is connected
+// to the server over an in-process pipe; attach interaction devices with
+// Session.Proxy.AttachInput/AttachOutput and select them to begin.
+func NewSession(opts Options) (*Session, error) {
+	home, display, app, server, err := assemble(opts)
+	if err != nil {
+		return nil, err
+	}
 
 	sc, cc := net.Pipe()
 	serverErr := make(chan error, 1)
@@ -135,3 +146,57 @@ func (s *Session) Close() {
 // (appliance → GUI propagation). Protocol traffic is asynchronous; use
 // the devices' WaitFrames helpers for display-side synchronization.
 func (s *Session) WaitIdle() { s.Home.Network().WaitIdle() }
+
+// HubSession is the hub-hosted variant of Session: the same appliances →
+// middleware → application → server stack, but without the in-process
+// proxy pipe — connections arrive from outside, routed by the multi-home
+// hub (internal/hub), which hosts many HubSessions in one process. It
+// satisfies the hub's Home contract (HandleConn + Close).
+type HubSession struct {
+	// Home is the appliance household (HAVi network + simulators).
+	Home *appliance.Home
+	// Display is the window-system session the application renders into.
+	Display *toolkit.Display
+	// App is the home appliance application (composed control panels).
+	App *homeapp.App
+	// Server is the UniInt server exporting Display to routed proxies.
+	Server *uniserver.Server
+
+	closeOnce sync.Once
+}
+
+// NewSessionForHub assembles the server side of the stack for hub
+// hosting: everything NewSession builds except the proxy and its pipe.
+// Proxies connect through the hub's routing path (HandleConn); any number
+// may share the home's display session concurrently.
+func NewSessionForHub(opts Options) (*HubSession, error) {
+	home, display, app, server, err := assemble(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &HubSession{
+		Home:    home,
+		Display: display,
+		App:     app,
+		Server:  server,
+	}, nil
+}
+
+// HandleConn serves one already-routed proxy connection until the peer
+// disconnects (the hub's Home contract).
+func (s *HubSession) HandleConn(conn net.Conn) error {
+	return s.Server.HandleConn(conn)
+}
+
+// Close tears the stack down in dependency order. Live connections are
+// disconnected by the server shutdown.
+func (s *HubSession) Close() {
+	s.closeOnce.Do(func() {
+		s.Server.Close()
+		s.App.Close()
+		s.Home.Close()
+	})
+}
+
+// WaitIdle blocks until the middleware has delivered all queued events.
+func (s *HubSession) WaitIdle() { s.Home.Network().WaitIdle() }
