@@ -1,0 +1,55 @@
+# uniint build / verify / benchmark-gate targets.
+#
+# The benchmark-regression gate compares `go test -bench` output against
+# the committed BENCH_BASELINE.json (schema: internal/benchfmt). CI runs
+# `make bench-gate`; regenerate the baseline with `make bench-baseline`
+# after an intentional performance change.
+
+GO       ?= go
+# Benchmarks gated in CI: the input hot path, the encoding suite (whose
+# allocs/op pins the zero-allocation contract), the pooled/adaptive
+# pipeline and hub routing.
+GATE_BENCH ?= BenchmarkE1InputLatency|BenchmarkE2Encoding|BenchmarkE2bPooled|BenchmarkE2bAdaptive|BenchmarkHubRoute
+BENCHTIME  ?= 100x
+# ns/op headroom: generous because wall time shifts with hardware, still
+# far under the 2x-regression class the gate exists to catch. allocs/op is
+# machine-independent and stays tight (+20%, +2 absolute).
+NS_TOL     ?= 0.75
+
+.PHONY: all build test vet race fmt-check bench bench-out bench-gate bench-baseline
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime $(BENCHTIME) -benchmem .
+
+# bench-out runs exactly the gated benchmark set and prints raw results.
+bench-out:
+	$(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem .
+
+# bench-gate fails (exit 1) when the measured results regress beyond the
+# tolerances against BENCH_BASELINE.json.
+bench-gate:
+	$(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem . \
+		| $(GO) run ./cmd/benchgate -tolerance $(NS_TOL)
+
+# bench-baseline regenerates BENCH_BASELINE.json from a local run.
+bench-baseline:
+	$(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem . \
+		| $(GO) run ./cmd/benchgate -update -note "make bench-baseline, benchtime $(BENCHTIME)"

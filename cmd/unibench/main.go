@@ -4,6 +4,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -13,6 +14,7 @@ import (
 
 	"uniint"
 	"uniint/internal/appliance"
+	"uniint/internal/benchfmt"
 	"uniint/internal/core"
 	"uniint/internal/device"
 	"uniint/internal/gfx"
@@ -30,14 +32,65 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "fewer repetitions")
+	jsonOut := flag.Bool("json", false,
+		"emit the measurement snapshot as JSON in the BENCH_BASELINE.json schema on stdout (tables go to stderr)")
 	flag.Parse()
 	reps := 50
 	if *quick {
 		reps = 10
 	}
+	if *jsonOut {
+		// Tables keep printing through os.Stdout; point it at stderr so
+		// stdout carries only the machine-readable snapshot.
+		realOut := os.Stdout
+		os.Stdout = os.Stderr
+		collecting = true
+		defer func() {
+			b := benchfmt.Baseline{
+				Schema:     benchfmt.Schema,
+				Note:       fmt.Sprintf("cmd/unibench -json, %d reps", reps),
+				Benchmarks: collected,
+			}
+			enc := json.NewEncoder(realOut)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(b); err != nil {
+				fmt.Fprintln(os.Stderr, "unibench: encode json:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 	if err := run(reps); err != nil {
 		fmt.Fprintln(os.Stderr, "unibench:", err)
 		os.Exit(1)
+	}
+}
+
+// collected accumulates per-measurement results for -json; record is a
+// no-op in table-only runs.
+var (
+	collecting bool
+	collected  []benchfmt.Result
+)
+
+// record captures one per-operation timing under a stable name shared
+// with the baseline schema.
+func record(name string, perOp time.Duration) {
+	if collecting {
+		collected = append(collected, benchfmt.Result{
+			Name: name, NsPerOp: float64(perOp.Nanoseconds()),
+			AllocsPerOp: -1, BytesPerOp: -1,
+		})
+	}
+}
+
+// recordBytes captures a bandwidth-style measurement (bytes carried by
+// one operation) alongside its wall time.
+func recordBytes(name string, perOp time.Duration, bytes int64) {
+	if collecting {
+		collected = append(collected, benchfmt.Result{
+			Name: name, NsPerOp: float64(perOp.Nanoseconds()),
+			AllocsPerOp: -1, BytesPerOp: float64(bytes),
+		})
 	}
 }
 
@@ -115,12 +168,12 @@ func secs(s float64) time.Duration {
 func e11(reps int) error {
 	fmt.Println("\n== E11: end-to-end input latency over shaped links ==")
 	links := []struct {
-		name string
-		opts []netsim.Option
+		key, name string
+		opts      []netsim.Option
 	}{
-		{"direct (in-process)", nil},
-		{"wifi-class (5ms)", []netsim.Option{netsim.WithLatency(5 * time.Millisecond)}},
-		{"bt-class (20ms)", []netsim.Option{netsim.WithLatency(20 * time.Millisecond)}},
+		{"direct", "direct (in-process)", nil},
+		{"wifi", "wifi-class (5ms)", []netsim.Option{netsim.WithLatency(5 * time.Millisecond)}},
+		{"bt", "bt-class (20ms)", []netsim.Option{netsim.WithLatency(20 * time.Millisecond)}},
 	}
 	n := max(reps/5, 5)
 	fmt.Printf("%-22s %12s\n", "link", "median")
@@ -167,6 +220,7 @@ func e11(reps int) error {
 			samples = append(samples, time.Since(start))
 		}
 		med, _ := stats(samples)
+		record("unibench/e11/"+link.key, med)
 		fmt.Printf("%-22s %12v\n", link.name, med.Round(10*time.Microsecond))
 		phone.Close()
 		proxy.Close()
@@ -239,6 +293,7 @@ func e1(reps int) error {
 			samples = append(samples, time.Since(start))
 		}
 		med, p95 := stats(samples)
+		record("unibench/e1/"+c.name, med)
 		fmt.Printf("%-10s %12v %12v\n", c.name, med, p95)
 		s.Close()
 	}
@@ -264,6 +319,7 @@ func e1(reps int) error {
 		samples = append(samples, time.Since(start))
 	}
 	med, p95 := stats(samples)
+	record("unibench/e1/pda", med)
 	fmt.Printf("%-10s %12v %12v\n", "pda", med, p95)
 	s.Close()
 	return nil
@@ -323,6 +379,7 @@ func e2(reps int) {
 				size = len(body)
 			}
 			avg := total / time.Duration(max(reps/10, 3))
+			recordBytes(fmt.Sprintf("unibench/e2/%s/%s", content, rfb.EncodingName(enc)), avg, int64(size))
 			fmt.Printf(" %8s/%5s", byteCount(size), avg.Round(100*time.Microsecond))
 		}
 		fmt.Println()
@@ -344,12 +401,12 @@ func e3(reps int) {
 	fmt.Println("\n== E3: output plug-in conversion cost (640x480 GUI frame) ==")
 	frame := workload.GUIFrame(640, 480)
 	plugins := []struct {
-		name string
-		pl   core.OutputPlugin
+		key, name string
+		pl        core.OutputPlugin
 	}{
-		{"tv (passthrough 640x480x24)", device.NewTVDisplay("t").OutputPlugin()},
-		{"pda (box scale to 320x240)", device.NewPDA("p").OutputPlugin()},
-		{"phone (scale + dither to 96x64x1)", device.NewPhone("f").OutputPlugin()},
+		{"tv", "tv (passthrough 640x480x24)", device.NewTVDisplay("t").OutputPlugin()},
+		{"pda", "pda (box scale to 320x240)", device.NewPDA("p").OutputPlugin()},
+		{"phone", "phone (scale + dither to 96x64x1)", device.NewPhone("f").OutputPlugin()},
 	}
 	fmt.Printf("%-36s %12s\n", "plug-in", "per frame")
 	for _, p := range plugins {
@@ -359,7 +416,9 @@ func e3(reps int) {
 			p.pl.Convert(frame)
 			total += time.Since(start)
 		}
-		fmt.Printf("%-36s %12v\n", p.name, (total / time.Duration(reps)).Round(time.Microsecond))
+		per := total / time.Duration(reps)
+		record("unibench/e3/"+p.key, per)
+		fmt.Printf("%-36s %12v\n", p.name, per.Round(time.Microsecond))
 	}
 }
 
@@ -382,6 +441,7 @@ func e4(reps int) error {
 		}
 	}
 	total = time.Since(start)
+	record("unibench/e4/input-switch", total/time.Duration(n))
 	fmt.Printf("%-28s %12v\n", "input switch", total/time.Duration(n))
 
 	outIDs := []string{"pda-1", "tv-1"}
@@ -391,6 +451,7 @@ func e4(reps int) error {
 			return err
 		}
 	}
+	record("unibench/e4/output-switch", time.Since(start)/time.Duration(reps))
 	fmt.Printf("%-28s %12v\n", "output switch (renegotiate)", time.Since(start)/time.Duration(reps))
 
 	eng := situation.NewEngine(s.Proxy, situation.DefaultRules())
@@ -402,6 +463,7 @@ func e4(reps int) error {
 	for i := 0; i < reps; i++ {
 		eng.SetSituation(sits[i%2])
 	}
+	record("unibench/e4/situation-eval", time.Since(start)/time.Duration(reps))
 	fmt.Printf("%-28s %12v\n", "situation rule evaluation", time.Since(start)/time.Duration(reps))
 	return nil
 }
@@ -434,6 +496,7 @@ func e5(reps int) error {
 			app.Rebuild()
 			display.Render()
 		}
+		record(fmt.Sprintf("unibench/e5/%d-appliances", n), time.Since(start)/time.Duration(reps))
 		fmt.Printf("%-12d %14v\n", n, (time.Since(start) / time.Duration(reps)).Round(time.Microsecond))
 		app.Close()
 		home.Close()
@@ -459,6 +522,7 @@ func e6(reps int) error {
 		for i := 0; i < reps; i++ {
 			net.Registry().Query(match)
 		}
+		record(fmt.Sprintf("unibench/e6/registry-query/%d", n), time.Since(start)/time.Duration(reps))
 		fmt.Printf("registry query over %4d elements  %12v\n",
 			net.Registry().Count(), (time.Since(start) / time.Duration(reps)).Round(time.Microsecond))
 		net.Close()
@@ -480,6 +544,7 @@ func e6(reps int) error {
 			return err
 		}
 	}
+	record("unibench/e6/message-call", time.Since(start)/time.Duration(n))
 	fmt.Printf("synchronous control message        %12v\n", time.Since(start)/time.Duration(n))
 
 	for _, subs := range []int{10, 100} {
@@ -493,6 +558,7 @@ func e6(reps int) error {
 			net2.Events().Post(ev)
 		}
 		net2.WaitIdle()
+		record(fmt.Sprintf("unibench/e6/event-fanout/%d", subs), time.Since(start)/time.Duration(reps*10))
 		fmt.Printf("event fan-out to %3d subscribers   %12v\n",
 			subs, (time.Since(start) / time.Duration(reps*10)).Round(time.Microsecond))
 		net2.Close()
@@ -527,6 +593,8 @@ func e7(reps int) error {
 		home.Network().WaitIdle()
 		detach += time.Since(start)
 	}
+	record("unibench/e7/attach", attach/time.Duration(reps))
+	record("unibench/e7/detach", detach/time.Duration(reps))
 	fmt.Printf("attach -> GUI shows appliance   %12v\n", (attach / time.Duration(reps)).Round(time.Microsecond))
 	fmt.Printf("detach -> GUI drops appliance   %12v\n", (detach / time.Duration(reps)).Round(time.Microsecond))
 	return nil
@@ -565,6 +633,7 @@ func e8() error {
 		settle()
 		startBytes := s.Proxy.Client().BytesReceived()
 		startFrames := s.Proxy.Stats().FramesPresented
+		startTime := time.Now()
 		// Settle after every step so each interaction's repaint is
 		// shipped individually (damage coalescing across steps would
 		// otherwise hide the per-device format differences).
@@ -579,6 +648,8 @@ func e8() error {
 		case "phone":
 			bpp = 8
 		}
+		recordBytes("unibench/e8/"+out.name, time.Since(startTime),
+			s.Proxy.Client().BytesReceived()-startBytes)
 		fmt.Printf("%-8s %6d %14s %10d\n", out.name, bpp,
 			byteCount(int(s.Proxy.Client().BytesReceived()-startBytes)),
 			s.Proxy.Stats().FramesPresented-startFrames)
@@ -611,6 +682,8 @@ func e9(reps int) {
 			}
 			serverSide += time.Since(start)
 		}
+		record(fmt.Sprintf("unibench/e9/proxy-side/%d", k), proxySide/time.Duration(n))
+		record(fmt.Sprintf("unibench/e9/server-side/%d", k), serverSide/time.Duration(n))
 		fmt.Printf("%-4d %16v %16v\n", k,
 			(proxySide / time.Duration(n)).Round(10*time.Microsecond),
 			(serverSide / time.Duration(n)).Round(10*time.Microsecond))
@@ -630,6 +703,7 @@ func e10(reps int) {
 	for i := 0; i < n; i++ {
 		device.RecognizeUtterance(corpus[i%len(corpus)])
 	}
+	record("unibench/e10/voice", time.Since(start)/time.Duration(n))
 	fmt.Printf("voice grammar (per utterance)    %12v\n", time.Since(start)/time.Duration(n))
 
 	stroke := make([]device.Point, 32)
@@ -640,5 +714,6 @@ func e10(reps int) {
 	for i := 0; i < n; i++ {
 		device.ClassifyStroke(stroke)
 	}
+	record("unibench/e10/gesture", time.Since(start)/time.Duration(n))
 	fmt.Printf("gesture classifier (per stroke)  %12v\n", time.Since(start)/time.Duration(n))
 }

@@ -55,6 +55,12 @@ type Proxy struct {
 	// changes can wait out an in-flight presentation (strict "no frames
 	// after return" semantics for RemoveMirror).
 	presentMu sync.Mutex
+	// Presentation scratch, guarded by presentMu: the present path runs
+	// once per framebuffer update on every session, so its working set
+	// is reused instead of reallocated (the update pipeline's
+	// zero-allocation discipline, proxy side).
+	presentTargets []*outputBinding
+	presentFrames  []Frame
 
 	stats proxyStats
 }
@@ -534,7 +540,7 @@ func (p *Proxy) presentCurrent() {
 	p.presentMu.Lock()
 	defer p.presentMu.Unlock()
 	p.mu.Lock()
-	targets := make([]*outputBinding, 0, 1+len(p.mirrors))
+	targets := p.presentTargets[:0]
 	if b := p.outputs[p.activeOut]; b != nil {
 		targets = append(targets, b)
 	}
@@ -546,12 +552,17 @@ func (p *Proxy) presentCurrent() {
 			targets = append(targets, b)
 		}
 	}
+	p.presentTargets = targets
 	p.mu.Unlock()
 	if len(targets) == 0 {
 		return
 	}
 	start := time.Now()
-	frames := make([]Frame, len(targets))
+	frames := p.presentFrames[:0]
+	for range targets {
+		frames = append(frames, Frame{})
+	}
+	p.presentFrames = frames
 	p.client.WithFramebuffer(func(fb *gfx.Framebuffer) {
 		for i, b := range targets {
 			frames[i] = b.plugin.Convert(fb)

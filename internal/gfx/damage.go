@@ -41,12 +41,16 @@ func (d *Damage) Add(r Rect) {
 			i--
 		}
 	}
-	// Merge with an overlapping/adjacent rectangle when the union wastes
-	// little area; otherwise keep it separate.
+	// Merge with an existing rectangle only when the union is an exact
+	// cover — the two rectangles overlap or tile so that their bounding
+	// box contains no undamaged pixels. Anything looser waits for limit
+	// pressure (coalesce), which is the only point allowed to trade
+	// over-coverage for bounded bookkeeping.
 	for i, s := range d.rects {
 		u := s.Union(r)
-		if u.Area() <= s.Area()+r.Area() {
+		if u.Area() == s.Area()+r.Area()-s.Intersect(r).Area() {
 			d.rects[i] = u
+			d.absorbInto(i)
 			return
 		}
 	}
@@ -64,15 +68,21 @@ func (d *Damage) AddAll() {
 	}
 }
 
-// coalesce repeatedly merges the pair of rectangles whose union wastes the
-// least area until the list fits the limit again.
+// coalesce repeatedly merges the pair of rectangles whose union covers the
+// fewest undamaged pixels until the list fits the limit again. Waste is
+// overlap-aware (the bounding box area minus the area the pair actually
+// covers), so exactly-covering merges are always preferred and disjoint
+// far-apart rectangles are only merged when limit pressure leaves no
+// better pair.
 func (d *Damage) coalesce() {
 	for len(d.rects) > d.limit {
 		bi, bj, bw := 0, 1, int(^uint(0)>>1)
 		for i := 0; i < len(d.rects); i++ {
 			for j := i + 1; j < len(d.rects); j++ {
 				u := d.rects[i].Union(d.rects[j])
-				waste := u.Area() - d.rects[i].Area() - d.rects[j].Area()
+				covered := d.rects[i].Area() + d.rects[j].Area() -
+					d.rects[i].Intersect(d.rects[j]).Area()
+				waste := u.Area() - covered
 				if waste < bw {
 					bi, bj, bw = i, j, waste
 				}
@@ -81,6 +91,26 @@ func (d *Damage) coalesce() {
 		d.rects[bi] = d.rects[bi].Union(d.rects[bj])
 		d.rects[bj] = d.rects[len(d.rects)-1]
 		d.rects = d.rects[:len(d.rects)-1]
+		d.absorbInto(bi)
+	}
+}
+
+// absorbInto removes rectangles fully contained in d.rects[i] — a merge
+// can grow a rectangle over previously separate neighbours, which would
+// otherwise stay behind and be encoded twice.
+func (d *Damage) absorbInto(i int) {
+	u := d.rects[i]
+	for j := 0; j < len(d.rects); j++ {
+		if j == i || !u.ContainsRect(d.rects[j]) {
+			continue
+		}
+		last := len(d.rects) - 1
+		d.rects[j] = d.rects[last]
+		d.rects = d.rects[:last]
+		if i == last {
+			i = j
+		}
+		j--
 	}
 }
 
@@ -101,6 +131,16 @@ func (d *Damage) Bounds() Rect {
 func (d *Damage) Take() []Rect {
 	out := d.rects
 	d.rects = nil
+	return out
+}
+
+// TakeInto returns the pending rectangles like Take, but re-arms the
+// tracker with spare's storage (length reset to zero) instead of nil.
+// Callers on a hot path ping-pong two slices through TakeInto so the
+// tracker never reallocates in steady state.
+func (d *Damage) TakeInto(spare []Rect) []Rect {
+	out := d.rects
+	d.rects = spare[:0]
 	return out
 }
 

@@ -1,0 +1,172 @@
+package gfx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// coveredBy reports whether every pixel of r lies inside at least one
+// rectangle of set.
+func coveredBy(r Rect, set []Rect) bool {
+	for y := r.Y; y < r.MaxY(); y++ {
+		for x := r.X; x < r.MaxX(); x++ {
+			hit := false
+			for _, s := range set {
+				if s.Contains(x, y) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDamageNoOverMergeUnderLimit is the regression test for the
+// over-eager merge: two rectangles whose bounding box would cover
+// undamaged pixels must stay separate while the tracker is under its
+// rect limit.
+func TestDamageNoOverMergeUnderLimit(t *testing.T) {
+	d := NewDamage(R(0, 0, 100, 100), 8)
+	a := R(0, 0, 10, 10)
+	b := R(2, 2, 10, 10) // diagonal overlap: bbox (0,0,12,12) has 8 undamaged px
+	d.Add(a)
+	d.Add(b)
+	rects := d.Peek()
+	if len(rects) != 2 {
+		t.Fatalf("diagonal-overlap rects merged under limit: %+v", rects)
+	}
+	// No pending rectangle may cover pixels outside a ∪ b.
+	for _, r := range rects {
+		for y := r.Y; y < r.MaxY(); y++ {
+			for x := r.X; x < r.MaxX(); x++ {
+				if !a.Contains(x, y) && !b.Contains(x, y) {
+					t.Fatalf("pending rect %+v covers undamaged pixel (%d,%d)", r, x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestDamageExactCoverStillMerges: adjacency and aligned overlap produce
+// an exact cover, so those pairs merge into one rectangle.
+func TestDamageExactCoverStillMerges(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Rect
+		want Rect
+	}{
+		{"adjacent-tiles", R(0, 0, 10, 10), R(10, 0, 10, 10), R(0, 0, 20, 10)},
+		{"aligned-overlap", R(0, 0, 10, 4), R(8, 0, 10, 4), R(0, 0, 18, 4)},
+		{"stacked", R(5, 0, 10, 6), R(5, 6, 10, 6), R(5, 0, 10, 12)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := NewDamage(R(0, 0, 100, 100), 8)
+			d.Add(c.a)
+			d.Add(c.b)
+			rects := d.Peek()
+			if len(rects) != 1 || rects[0] != c.want {
+				t.Errorf("got %+v, want one %+v", rects, c.want)
+			}
+		})
+	}
+}
+
+// TestDamageMergeAbsorbsNeighbours: when a merge grows a rectangle over a
+// previously separate rectangle, the contained one must be removed so no
+// pixel is tracked (and later encoded) twice.
+func TestDamageMergeAbsorbsNeighbours(t *testing.T) {
+	d := NewDamage(R(0, 0, 100, 100), 3)
+	d.Add(R(0, 0, 10, 10))
+	d.Add(R(40, 0, 10, 10))
+	d.Add(R(20, 40, 4, 4)) // sits between the first two horizontally
+	// Force limit pressure; the coalesced union of any pair may swallow
+	// the small rect, which must then disappear from the list.
+	d.Add(R(80, 80, 10, 10))
+	rects := d.Peek()
+	if len(rects) > 3 {
+		t.Fatalf("limit not enforced: %d rects", len(rects))
+	}
+	for i, r := range rects {
+		for j, s := range rects {
+			if i != j && r.ContainsRect(s) {
+				t.Fatalf("rect %+v still contains %+v after coalesce", r, s)
+			}
+		}
+	}
+}
+
+// TestDamageUnderLimitDisjointStaySeparate: disjoint, non-adjacent
+// rectangles never merge while the tracker has room.
+func TestDamageUnderLimitDisjointStaySeparate(t *testing.T) {
+	d := NewDamage(R(0, 0, 1000, 1000), 16)
+	adds := []Rect{
+		R(0, 0, 10, 10), R(100, 0, 10, 10), R(0, 100, 10, 10),
+		R(500, 500, 20, 20), R(700, 100, 5, 5),
+	}
+	for _, r := range adds {
+		d.Add(r)
+	}
+	rects := d.Peek()
+	if len(rects) != len(adds) {
+		t.Fatalf("disjoint rects merged under limit: %d of %d remain: %+v",
+			len(rects), len(adds), rects)
+	}
+}
+
+// TestDamageCoverageProperty: the pending set always covers every added
+// pixel, and under the limit it covers nothing else.
+func TestDamageCoverageProperty(t *testing.T) {
+	prop := func(seeds []uint16) bool {
+		const limit = 64 // high enough that the seeds never hit pressure
+		d := NewDamage(R(0, 0, 256, 256), limit)
+		var added []Rect
+		for i, s := range seeds {
+			if i >= 32 {
+				break
+			}
+			r := R(int(s%200), int(s/256%200), int(s%31)+1, int(s%17)+1)
+			d.Add(r)
+			added = append(added, r)
+		}
+		rects := d.Peek()
+		// Every add covered.
+		for _, r := range added {
+			if !coveredBy(r, rects) {
+				return false
+			}
+		}
+		// Under the limit: no undamaged pixel covered.
+		for _, r := range rects {
+			if !coveredBy(r, added) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDamageTakeInto(t *testing.T) {
+	d := NewDamage(R(0, 0, 100, 100), 8)
+	d.Add(R(1, 1, 5, 5))
+	spare := make([]Rect, 0, 4)
+	got := d.TakeInto(spare)
+	if len(got) != 1 || got[0] != R(1, 1, 5, 5) {
+		t.Fatalf("TakeInto = %+v", got)
+	}
+	if !d.Empty() {
+		t.Fatal("tracker not reset")
+	}
+	// The spare's storage is now the live backing array.
+	d.Add(R(2, 2, 3, 3))
+	if len(d.Peek()) != 1 {
+		t.Fatal("re-armed tracker lost an add")
+	}
+}

@@ -11,6 +11,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -306,6 +307,43 @@ func (r *Registry) WriteText(w io.Writer) error {
 		p("%s_count %d\n", name, h.Count)
 	}
 	return err
+}
+
+// WriteJSON renders the registry snapshot as one JSON object with
+// "counters", "gauges" and "histograms" members — the machine-readable
+// sibling of WriteText, used by tooling that ingests a metrics snapshot
+// (benchmark reports, the hub daemon's scrape page). Histograms are
+// summarized as {count, sum, p50, p95, p99}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	type histJSON struct {
+		Count uint64  `json:"count"`
+		Sum   float64 `json:"sum"`
+		P50   float64 `json:"p50"`
+		P95   float64 `json:"p95"`
+		P99   float64 `json:"p99"`
+	}
+	out := struct {
+		Counters   map[string]int64    `json:"counters"`
+		Gauges     map[string]int64    `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]histJSON, len(s.Histograms)),
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = histJSON{
+			Count: h.Count,
+			Sum:   h.Sum,
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

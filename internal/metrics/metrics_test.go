@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"sync"
@@ -157,5 +158,38 @@ func TestSnapshotIsolation(t *testing.T) {
 func TestDefaultRegistryShared(t *testing.T) {
 	if Default() != Default() {
 		t.Fatal("Default must return the same registry")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("encode_bytes_total").Add(42)
+	r.Gauge("sessions").Set(3)
+	h := r.Histogram("encode_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count uint64  `json:"count"`
+			Sum   float64 `json:"sum"`
+			P95   float64 `json:"p95"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if out.Counters["encode_bytes_total"] != 42 || out.Gauges["sessions"] != 3 {
+		t.Fatalf("scalar values wrong: %+v", out)
+	}
+	hj, ok := out.Histograms["encode_seconds"]
+	if !ok || hj.Count != 2 || hj.Sum != 0.5005 {
+		t.Fatalf("histogram summary wrong: %+v", hj)
 	}
 }

@@ -16,7 +16,9 @@ import (
 // feed its output-conversion pipeline. Methods run on the Run goroutine.
 type ClientHandler interface {
 	// Updated is called after rects have been painted into the shadow
-	// framebuffer. Use ClientConn.WithFramebuffer to read pixels.
+	// framebuffer. Use ClientConn.WithFramebuffer to read pixels. The
+	// rects slice is reused for the next update; handlers that need the
+	// rectangles past the call must copy them.
 	Updated(rects []gfx.Rect)
 	// Bell is called when the server rings the bell.
 	Bell()
@@ -34,10 +36,13 @@ type ClientConn struct {
 	wmu sync.Mutex
 	bw  *bufio.Writer
 
-	fmu     sync.Mutex // guards fb and the format table
+	fmu     sync.Mutex // guards fb, the format table and the decode scratch
 	fb      *gfx.Framebuffer
 	pfGen   uint8                     // generation of the last requested format
 	pfByGen map[uint8]gfx.PixelFormat // decode formats by generation tag
+	dsc     decodeScratch             // reusable decode buffers
+	rects   []gfx.Rect                // reusable per-update rect list
+	cr      countReader               // reusable byte-counting shim over br
 
 	name string
 
@@ -326,8 +331,8 @@ func (c *ClientConn) Run(h ClientHandler) error {
 				return err
 			}
 			c.bytesReceived.Add(3)
-			rects := make([]gfx.Rect, 0, n)
 			c.fmu.Lock()
+			rects := c.rects[:0]
 			pf := c.formatFor(gen)
 			for i := 0; i < int(n); i++ {
 				var hdr [12]byte
@@ -351,18 +356,21 @@ func (c *ClientConn) Run(h ClientHandler) error {
 					c.fb.CopyRect(r.X, r.Y, gfx.R(
 						int(be.Uint16(src[0:])), int(be.Uint16(src[2:])), r.W, r.H))
 				} else {
-					cr := &countReader{r: c.br}
-					if err := decodeRect(cr, enc, c.fb, r, pf); err != nil {
+					c.cr.r, c.cr.n = c.br, 0
+					if err := decodeRect(&c.cr, enc, c.fb, r, pf, &c.dsc); err != nil {
 						c.fmu.Unlock()
 						return err
 					}
-					c.bytesReceived.Add(cr.n)
+					c.bytesReceived.Add(c.cr.n)
 				}
 				rects = append(rects, r)
 			}
+			c.rects = rects
 			c.fmu.Unlock()
 			c.updatesRecv.Add(1)
 			if h != nil {
+				// rects is reused for the next update; the ClientHandler
+				// contract requires handlers to copy it to retain it.
 				h.Updated(rects)
 			}
 

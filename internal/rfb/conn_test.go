@@ -68,8 +68,12 @@ func newTestClientHandler() *testClientHandler {
 }
 
 func (h *testClientHandler) Updated(rects []gfx.Rect) {
+	// The slice is reused by the read loop; copy to retain (the
+	// ClientHandler contract).
+	cp := make([]gfx.Rect, len(rects))
+	copy(cp, rects)
 	h.mu.Lock()
-	h.updates = append(h.updates, rects)
+	h.updates = append(h.updates, cp)
 	h.mu.Unlock()
 	h.gotUpd <- struct{}{}
 }

@@ -11,32 +11,37 @@ import (
 
 // encodeRect serializes the pixels of fb inside r using the given encoding
 // and appends the wire bytes to dst. The rectangle header is NOT included.
-func encodeRect(dst []byte, enc int32, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) ([]byte, error) {
+// sc provides the caller-owned scratch (run buffers, color census, zlib
+// machinery); the steady-state encode path allocates nothing beyond dst's
+// amortized growth.
+func encodeRect(dst []byte, enc int32, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, sc *encodeScratch) ([]byte, error) {
 	switch enc {
 	case EncRaw:
 		return encodeRaw(dst, fb, r, pf), nil
 	case EncRRE:
-		return encodeRRE(dst, fb, r, pf), nil
+		return encodeRRE(dst, fb, r, pf, sc), nil
 	case EncHextile:
-		return encodeHextile(dst, fb, r, pf), nil
+		return encodeHextile(dst, fb, r, pf, sc), nil
 	case EncZlib:
-		return encodeZlib(dst, fb, r, pf)
+		return encodeZlib(dst, fb, r, pf, sc)
 	default:
 		return nil, fmt.Errorf("rfb: cannot encode with %s", EncodingName(enc))
 	}
 }
 
 // decodeRect reads one rectangle body from rd and paints it into fb at r.
-func decodeRect(rd io.Reader, enc int32, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) error {
+// dsc provides the reusable decode buffers (rows, zlib staging); pass a
+// connection-owned scratch on streaming paths.
+func decodeRect(rd io.Reader, enc int32, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, dsc *decodeScratch) error {
 	switch enc {
 	case EncRaw:
-		return decodeRaw(rd, fb, r, pf)
+		return decodeRaw(rd, fb, r, pf, dsc)
 	case EncRRE:
 		return decodeRRE(rd, fb, r, pf)
 	case EncHextile:
-		return decodeHextile(rd, fb, r, pf)
+		return decodeHextile(rd, fb, r, pf, dsc)
 	case EncZlib:
-		return decodeZlib(rd, fb, r, pf)
+		return decodeZlib(rd, fb, r, pf, dsc)
 	default:
 		return fmt.Errorf("rfb: cannot decode %s: %w", EncodingName(enc), ErrBadMessage)
 	}
@@ -48,7 +53,7 @@ func encodeRaw(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) 
 	bpp := pf.BytesPerPixel()
 	need := r.W * r.H * bpp
 	start := len(dst)
-	dst = append(dst, make([]byte, need)...)
+	dst = append(dst, make([]byte, need)...) // recognized append-make: grows dst in place
 	out := dst[start:]
 	i := 0
 	for y := r.Y; y < r.MaxY(); y++ {
@@ -60,9 +65,15 @@ func encodeRaw(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) 
 	return dst
 }
 
-func decodeRaw(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) error {
+func decodeRaw(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, dsc *decodeScratch) error {
 	bpp := pf.BytesPerPixel()
-	buf := make([]byte, r.W*bpp)
+	var buf []byte
+	if dsc != nil {
+		dsc.row = grow(dsc.row, r.W*bpp)
+		buf = dsc.row
+	} else {
+		buf = make([]byte, r.W*bpp)
+	}
 	for y := r.Y; y < r.MaxY(); y++ {
 		if _, err := io.ReadFull(rd, buf); err != nil {
 			return err
@@ -83,31 +94,26 @@ func decodeRaw(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat
 // subrectangles. The encoder picks the most frequent color as background
 // and emits one height-1 subrectangle per maximal non-background run.
 
-func dominantColor(fb *gfx.Framebuffer, r gfx.Rect) gfx.Color {
-	counts := make(map[gfx.Color]int, 16)
-	var best gfx.Color
-	bestN := -1
+// dominantColor runs a census over the rect through the scratch histogram
+// and returns the most frequent color. On saturated content (more distinct
+// colors than the table holds) the result is approximate, which costs
+// compression ratio but never correctness.
+func dominantColor(fb *gfx.Framebuffer, r gfx.Rect, sc *encodeScratch) gfx.Color {
+	sc.hist.reset()
 	for y := r.Y; y < r.MaxY(); y++ {
 		row := fb.Pix()[y*fb.W()+r.X : y*fb.W()+r.MaxX()]
 		for _, c := range row {
-			counts[c]++
-			if counts[c] > bestN {
-				best, bestN = c, counts[c]
-			}
+			sc.hist.add(c)
 		}
 	}
-	return best
+	bg, _ := sc.hist.max()
+	return bg
 }
 
-func encodeRRE(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) []byte {
-	bpp := pf.BytesPerPixel()
-	bg := dominantColor(fb, r)
-
-	type sub struct {
-		c          gfx.Color
-		x, y, w, h int
-	}
-	var subs []sub
+// scanRuns appends one height-1 subrectangle per maximal non-bg run of
+// rect-local coordinates to sc.subs (reset first) and returns the slice.
+func scanRuns(fb *gfx.Framebuffer, r gfx.Rect, bg gfx.Color, sc *encodeScratch) []rreSub {
+	subs := sc.subs[:0]
 	for y := 0; y < r.H; y++ {
 		row := fb.Pix()[(r.Y+y)*fb.W()+r.X : (r.Y+y)*fb.W()+r.MaxX()]
 		x := 0
@@ -121,19 +127,26 @@ func encodeRRE(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) 
 			for x < r.W && row[x] == c {
 				x++
 			}
-			subs = append(subs, sub{c: c, x: x0, y: y, w: x - x0, h: 1})
+			subs = append(subs, rreSub{c: c, x: x0, y: y, w: x - x0, h: 1})
 		}
 	}
+	sc.subs = subs
+	return subs
+}
+
+func encodeRRE(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, sc *encodeScratch) []byte {
+	bg := dominantColor(fb, r, sc)
+	subs := scanRuns(fb, r, bg, sc)
 
 	var hdr [4]byte
 	be.PutUint32(hdr[:], uint32(len(subs)))
 	dst = append(dst, hdr[:]...)
-	px := make([]byte, 4)
-	n := putPixel(px, pf, bg)
+	var px [4]byte
+	n := putPixel(px[:], pf, bg)
 	dst = append(dst, px[:n]...)
 	var geo [8]byte
 	for _, s := range subs {
-		n := putPixel(px, pf, s.c)
+		n := putPixel(px[:], pf, s.c)
 		dst = append(dst, px[:n]...)
 		be.PutUint16(geo[0:], uint16(s.x))
 		be.PutUint16(geo[2:], uint16(s.y))
@@ -141,7 +154,6 @@ func encodeRRE(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) 
 		be.PutUint16(geo[6:], uint16(s.h))
 		dst = append(dst, geo[:]...)
 	}
-	_ = bpp
 	return dst
 }
 
@@ -154,7 +166,8 @@ func decodeRRE(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat
 		return fmt.Errorf("rfb: rre subrect count %d exceeds area: %w", nsub, ErrBadMessage)
 	}
 	bpp := pf.BytesPerPixel()
-	buf := make([]byte, bpp+8)
+	var bufArr [12]byte
+	buf := bufArr[:bpp+8]
 	if _, err := io.ReadFull(rd, buf[:bpp]); err != nil {
 		return err
 	}
@@ -189,76 +202,47 @@ const (
 	hextileColoured   = 16
 )
 
-func encodeHextile(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) []byte {
-	px := make([]byte, 4)
+func encodeHextile(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, sc *encodeScratch) []byte {
 	for ty := r.Y; ty < r.MaxY(); ty += 16 {
 		th := min(16, r.MaxY()-ty)
 		for tx := r.X; tx < r.MaxX(); tx += 16 {
 			tw := min(16, r.MaxX()-tx)
 			tile := gfx.R(tx, ty, tw, th)
-			dst = encodeHextileTile(dst, fb, tile, pf, px)
+			dst = encodeHextileTile(dst, fb, tile, pf, sc)
 		}
 	}
 	return dst
 }
 
-func encodeHextileTile(dst []byte, fb *gfx.Framebuffer, tile gfx.Rect, pf gfx.PixelFormat, px []byte) []byte {
-	// Census of tile colors.
-	counts := make(map[gfx.Color]int, 8)
+func encodeHextileTile(dst []byte, fb *gfx.Framebuffer, tile gfx.Rect, pf gfx.PixelFormat, sc *encodeScratch) []byte {
+	// Census of tile colors. A tile holds at most 256 pixels, far below
+	// the census capacity, so distinct counts are exact here.
+	sc.hist.reset()
 	for y := tile.Y; y < tile.MaxY(); y++ {
 		row := fb.Pix()[y*fb.W()+tile.X : y*fb.W()+tile.MaxX()]
 		for _, c := range row {
-			counts[c]++
+			sc.hist.add(c)
 		}
 	}
-	var bg gfx.Color
-	bgN := -1
-	for c, n := range counts {
-		if n > bgN || (n == bgN && c < bg) {
-			bg, bgN = c, n
-		}
-	}
+	bg, _ := sc.hist.max()
+	distinct := sc.hist.distinct
 
-	type run struct {
-		c          gfx.Color
-		x, y, w, h int
-	}
-	var runs []run
-	for y := 0; y < tile.H; y++ {
-		row := fb.Pix()[(tile.Y+y)*fb.W()+tile.X : (tile.Y+y)*fb.W()+tile.MaxX()]
-		x := 0
-		for x < tile.W {
-			c := row[x]
-			if c == bg {
-				x++
-				continue
-			}
-			x0 := x
-			for x < tile.W && row[x] == c {
-				x++
-			}
-			runs = append(runs, run{c: c, x: x0, y: y, w: x - x0, h: 1})
-		}
-	}
+	runs := scanRuns(fb, tile, bg, sc)
 
 	bpp := pf.BytesPerPixel()
+	var px [4]byte
 	switch {
-	case len(counts) == 1:
+	case distinct == 1:
 		dst = append(dst, hextileBackground)
-		n := putPixel(px, pf, bg)
+		n := putPixel(px[:], pf, bg)
 		dst = append(dst, px[:n]...)
 
-	case len(counts) == 2 && len(runs) <= 255:
-		var fg gfx.Color
-		for c := range counts {
-			if c != bg {
-				fg = c
-			}
-		}
+	case distinct == 2 && len(runs) <= 255:
+		fg := sc.hist.other(bg)
 		dst = append(dst, hextileBackground|hextileForeground|hextileAnySubrect)
-		n := putPixel(px, pf, bg)
+		n := putPixel(px[:], pf, bg)
 		dst = append(dst, px[:n]...)
-		n = putPixel(px, pf, fg)
+		n = putPixel(px[:], pf, fg)
 		dst = append(dst, px[:n]...)
 		dst = append(dst, uint8(len(runs)))
 		for _, s := range runs {
@@ -270,11 +254,11 @@ func encodeHextileTile(dst []byte, fb *gfx.Framebuffer, tile gfx.Rect, pf gfx.Pi
 		rawSize := 1 + tile.Area()*bpp
 		if len(runs) <= 255 && colouredSize < rawSize {
 			dst = append(dst, hextileBackground|hextileAnySubrect|hextileColoured)
-			n := putPixel(px, pf, bg)
+			n := putPixel(px[:], pf, bg)
 			dst = append(dst, px[:n]...)
 			dst = append(dst, uint8(len(runs)))
 			for _, s := range runs {
-				n := putPixel(px, pf, s.c)
+				n := putPixel(px[:], pf, s.c)
 				dst = append(dst, px[:n]...)
 				dst = append(dst, uint8(s.x<<4|s.y), uint8((s.w-1)<<4|(s.h-1)))
 			}
@@ -286,9 +270,9 @@ func encodeHextileTile(dst []byte, fb *gfx.Framebuffer, tile gfx.Rect, pf gfx.Pi
 	return dst
 }
 
-func decodeHextile(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) error {
+func decodeHextile(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, dsc *decodeScratch) error {
 	bpp := pf.BytesPerPixel()
-	buf := make([]byte, 4)
+	var buf [4]byte
 	var bg, fg gfx.Color
 	for ty := r.Y; ty < r.MaxY(); ty += 16 {
 		th := min(16, r.MaxY()-ty)
@@ -300,7 +284,7 @@ func decodeHextile(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFo
 				return err
 			}
 			if mask&hextileRaw != 0 {
-				if err := decodeRaw(rd, fb, tile, pf); err != nil {
+				if err := decodeRaw(rd, fb, tile, pf, dsc); err != nil {
 					return err
 				}
 				continue
@@ -309,13 +293,13 @@ func decodeHextile(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFo
 				if _, err := io.ReadFull(rd, buf[:bpp]); err != nil {
 					return err
 				}
-				bg, _ = getPixel(buf, pf)
+				bg, _ = getPixel(buf[:], pf)
 			}
 			if mask&hextileForeground != 0 {
 				if _, err := io.ReadFull(rd, buf[:bpp]); err != nil {
 					return err
 				}
-				fg, _ = getPixel(buf, pf)
+				fg, _ = getPixel(buf[:], pf)
 			}
 			fb.Fill(tile, bg)
 			if mask&hextileAnySubrect == 0 {
@@ -332,7 +316,7 @@ func decodeHextile(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFo
 					if _, err := io.ReadFull(rd, buf[:bpp]); err != nil {
 						return err
 					}
-					c, _ = getPixel(buf, pf)
+					c, _ = getPixel(buf[:], pf)
 				}
 				if _, err := io.ReadFull(rd, buf[:2]); err != nil {
 					return err
@@ -350,24 +334,28 @@ func decodeHextile(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFo
 
 // --- Zlib ----------------------------------------------------------------
 
-func encodeZlib(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) ([]byte, error) {
-	raw := encodeRaw(nil, fb, r, pf)
-	var zbuf bytes.Buffer
-	zw := zlib.NewWriter(&zbuf)
-	if _, err := zw.Write(raw); err != nil {
+func encodeZlib(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, sc *encodeScratch) ([]byte, error) {
+	sc.raw = encodeRaw(sc.raw[:0], fb, r, pf)
+	sc.zbuf.Reset()
+	if sc.zw == nil {
+		sc.zw = zlib.NewWriter(&sc.zbuf)
+	} else {
+		sc.zw.Reset(&sc.zbuf)
+	}
+	if _, err := sc.zw.Write(sc.raw); err != nil {
 		return nil, fmt.Errorf("rfb: zlib encode: %w", err)
 	}
-	if err := zw.Close(); err != nil {
+	if err := sc.zw.Close(); err != nil {
 		return nil, fmt.Errorf("rfb: zlib close: %w", err)
 	}
 	var hdr [4]byte
-	be.PutUint32(hdr[:], uint32(zbuf.Len()))
+	be.PutUint32(hdr[:], uint32(sc.zbuf.Len()))
 	dst = append(dst, hdr[:]...)
-	dst = append(dst, zbuf.Bytes()...)
+	dst = append(dst, sc.zbuf.Bytes()...)
 	return dst, nil
 }
 
-func decodeZlib(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat) error {
+func decodeZlib(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, dsc *decodeScratch) error {
 	n, err := readU32(rd)
 	if err != nil {
 		return err
@@ -376,14 +364,26 @@ func decodeZlib(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelForma
 	if n > maxZlibRect {
 		return fmt.Errorf("rfb: zlib rect of %d bytes: %w", n, ErrBadMessage)
 	}
-	comp := make([]byte, n)
-	if _, err := io.ReadFull(rd, comp); err != nil {
+	if dsc == nil {
+		dsc = &decodeScratch{}
+	}
+	dsc.comp = grow(dsc.comp, int(n))
+	if _, err := io.ReadFull(rd, dsc.comp); err != nil {
 		return err
 	}
-	zr, err := zlib.NewReader(bytes.NewReader(comp))
-	if err != nil {
+	if dsc.zrr == nil {
+		dsc.zrr = bytes.NewReader(dsc.comp)
+	} else {
+		dsc.zrr.Reset(dsc.comp)
+	}
+	if dsc.zr == nil {
+		zr, err := zlib.NewReader(dsc.zrr)
+		if err != nil {
+			return fmt.Errorf("rfb: zlib decode: %w", err)
+		}
+		dsc.zr = zr.(zlibResetter)
+	} else if err := dsc.zr.Reset(dsc.zrr, nil); err != nil {
 		return fmt.Errorf("rfb: zlib decode: %w", err)
 	}
-	defer zr.Close()
-	return decodeRaw(zr, fb, r, pf)
+	return decodeRaw(dsc.zr, fb, r, pf, dsc)
 }

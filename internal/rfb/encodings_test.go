@@ -81,12 +81,12 @@ func TestEncodingRoundTrip(t *testing.T) {
 			want := quantize(frame, pf)
 			for _, enc := range encodings {
 				for _, r := range rects {
-					body, err := encodeRect(nil, enc, frame, r, pf)
+					body, err := EncodeRectInto(nil, enc, frame, r, pf)
 					if err != nil {
 						t.Fatalf("%s/%s/%s: encode: %v", fname, pfname, EncodingName(enc), err)
 					}
 					dst := gfx.NewFramebuffer(frame.W(), frame.H())
-					if err := decodeRect(bytes.NewReader(body), enc, dst, r, pf); err != nil {
+					if err := decodeRect(bytes.NewReader(body), enc, dst, r, pf, nil); err != nil {
 						t.Fatalf("%s/%s/%s %v: decode: %v", fname, pfname, EncodingName(enc), r, err)
 					}
 					for y := r.Y; y < r.MaxY(); y++ {
@@ -108,13 +108,13 @@ func TestEncodingDoesNotTouchOutside(t *testing.T) {
 	frame := makeGUIFrame(64, 64)
 	r := gfx.R(16, 16, 20, 20)
 	for _, enc := range []int32{EncRaw, EncRRE, EncHextile, EncZlib} {
-		body, err := encodeRect(nil, enc, frame, r, gfx.PF32())
+		body, err := EncodeRectInto(nil, enc, frame, r, gfx.PF32())
 		if err != nil {
 			t.Fatal(err)
 		}
 		dst := gfx.NewFramebuffer(64, 64)
 		dst.Clear(gfx.Red)
-		if err := decodeRect(bytes.NewReader(body), enc, dst, r, gfx.PF32()); err != nil {
+		if err := decodeRect(bytes.NewReader(body), enc, dst, r, gfx.PF32(), nil); err != nil {
 			t.Fatal(err)
 		}
 		for y := 0; y < 64; y++ {
@@ -131,12 +131,12 @@ func TestCompactEncodingsBeatRawOnGUI(t *testing.T) {
 	frame := makeGUIFrame(320, 240)
 	r := frame.Bounds()
 	pf := gfx.PF32()
-	raw, err := encodeRect(nil, EncRaw, frame, r, pf)
+	raw, err := EncodeRectInto(nil, EncRaw, frame, r, pf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, enc := range []int32{EncRRE, EncHextile, EncZlib} {
-		body, err := encodeRect(nil, enc, frame, r, pf)
+		body, err := EncodeRectInto(nil, enc, frame, r, pf)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,8 +153,8 @@ func TestHextileNeverBlowsUpOnNoise(t *testing.T) {
 	frame := makeNoiseFrame(160, 128, 7)
 	pf := gfx.PF32()
 	r := frame.Bounds()
-	raw, _ := encodeRect(nil, EncRaw, frame, r, pf)
-	hex, err := encodeRect(nil, EncHextile, frame, r, pf)
+	raw, _ := EncodeRectInto(nil, EncRaw, frame, r, pf)
+	hex, err := EncodeRectInto(nil, EncHextile, frame, r, pf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,17 +170,17 @@ func TestDecodeRREBadCount(t *testing.T) {
 	var buf bytes.Buffer
 	writeU32(&buf, 1<<30)
 	dst := gfx.NewFramebuffer(8, 8)
-	err := decodeRect(&buf, EncRRE, dst, gfx.R(0, 0, 8, 8), gfx.PF32())
+	err := decodeRect(&buf, EncRRE, dst, gfx.R(0, 0, 8, 8), gfx.PF32(), nil)
 	if err == nil {
 		t.Fatal("expected error on absurd RRE subrect count")
 	}
 }
 
 func TestUnknownEncoding(t *testing.T) {
-	if _, err := encodeRect(nil, 999, gfx.NewFramebuffer(4, 4), gfx.R(0, 0, 4, 4), gfx.PF32()); err == nil {
+	if _, err := EncodeRectInto(nil, 999, gfx.NewFramebuffer(4, 4), gfx.R(0, 0, 4, 4), gfx.PF32()); err == nil {
 		t.Error("encode with unknown encoding should fail")
 	}
-	if err := decodeRect(bytes.NewReader(nil), 999, gfx.NewFramebuffer(4, 4), gfx.R(0, 0, 4, 4), gfx.PF32()); err == nil {
+	if err := decodeRect(bytes.NewReader(nil), 999, gfx.NewFramebuffer(4, 4), gfx.R(0, 0, 4, 4), gfx.PF32(), nil); err == nil {
 		t.Error("decode with unknown encoding should fail")
 	}
 }
@@ -199,7 +199,7 @@ func BenchmarkEncode(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					var err error
-					body, err = encodeRect(body[:0], enc, frame, r, pf)
+					body, err = EncodeRectInto(body[:0], enc, frame, r, pf)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -56,12 +56,12 @@ func TestEncodingRoundTripProperty(t *testing.T) {
 				want.Pix()[i] = pf.Decode(pf.Encode(c))
 			}
 			for _, enc := range encodings {
-				body, err := encodeRect(nil, enc, frame, r, pf)
+				body, err := EncodeRectInto(nil, enc, frame, r, pf)
 				if err != nil {
 					return false
 				}
 				dst := gfx.NewFramebuffer(w, h)
-				if err := decodeRect(bytes.NewReader(body), enc, dst, r, pf); err != nil {
+				if err := decodeRect(bytes.NewReader(body), enc, dst, r, pf, nil); err != nil {
 					return false
 				}
 				for y := r.Y; y < r.MaxY(); y++ {
@@ -88,11 +88,11 @@ func TestHextileBoundedExpansionProperty(t *testing.T) {
 		frame := randomFrame(rng, 64, 48)
 		pf := gfx.PF32()
 		r := frame.Bounds()
-		raw, err := encodeRect(nil, EncRaw, frame, r, pf)
+		raw, err := EncodeRectInto(nil, EncRaw, frame, r, pf)
 		if err != nil {
 			return false
 		}
-		hex, err := encodeRect(nil, EncHextile, frame, r, pf)
+		hex, err := EncodeRectInto(nil, EncHextile, frame, r, pf)
 		if err != nil {
 			return false
 		}

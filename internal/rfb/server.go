@@ -35,13 +35,15 @@ type ServerConn struct {
 	conn net.Conn
 	br   *bufio.Reader
 
-	wmu sync.Mutex // serializes writes and guards bw
+	wmu sync.Mutex // serializes writes and guards bw and cw
 	bw  *bufio.Writer
+	cw  countWriter // reusable byte-counting shim over bw
 
 	smu       sync.Mutex // guards negotiated state
 	pf        gfx.PixelFormat
 	pfGen     uint8 // bumped on every SetPixelFormat; tags updates
 	encodings []int32
+	encMask   uint8 // capability bits derived from encodings
 
 	width, height int
 	name          string
@@ -146,7 +148,15 @@ func (s *ServerConn) Encodings() []int32 {
 // PreferredEncoding returns the first client-advertised encoding this
 // server can produce, falling back to Raw.
 func (s *ServerConn) PreferredEncoding() int32 {
-	for _, e := range s.Encodings() {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return s.preferredLocked()
+}
+
+// preferredLocked is PreferredEncoding with smu already held (alloc-free,
+// unlike Encodings which copies).
+func (s *ServerConn) preferredLocked() int32 {
+	for _, e := range s.encodings {
 		switch e {
 		case EncRaw, EncRRE, EncHextile, EncZlib:
 			return e
@@ -214,6 +224,7 @@ func (s *ServerConn) Serve(h ServerHandler) error {
 			s.bytesReceived.Add(int64(3 + 4*int(n)))
 			s.smu.Lock()
 			s.encodings = encs
+			s.encMask = encodingMask(encs)
 			s.smu.Unlock()
 
 		case msgFramebufferRequest:
@@ -298,17 +309,18 @@ type UpdateRect struct {
 }
 
 // SendUpdate ships the given rectangles of fb to the client in one
-// FramebufferUpdate message, encoding each with the client's preferred
-// encoding. Rectangles are clipped to the framebuffer.
+// FramebufferUpdate message, choosing the encoding for each rectangle
+// adaptively from its content (falling back to the client's preference
+// when the client advertised too little to adapt). Rectangles are clipped
+// to the framebuffer.
 func (s *ServerConn) SendUpdate(fb *gfx.Framebuffer, rects []gfx.Rect) error {
-	enc := s.PreferredEncoding()
 	urs := make([]UpdateRect, 0, len(rects))
 	for _, r := range rects {
 		r = r.Intersect(fb.Bounds())
 		if r.Empty() {
 			continue
 		}
-		urs = append(urs, UpdateRect{Rect: r, Encoding: enc})
+		urs = append(urs, UpdateRect{Rect: r, Encoding: EncAdaptive})
 	}
 	return s.SendUpdateRects(fb, urs)
 }
@@ -327,10 +339,17 @@ func (s *ServerConn) SendUpdateRects(fb *gfx.Framebuffer, rects []UpdateRect) er
 // (CPU-bound, reads the framebuffer) and sending (blocking I/O) are split
 // so callers can encode while holding a framebuffer lock and transmit
 // after releasing it.
+//
+// A PreparedUpdate is backed by pooled scratch: every rectangle body lives
+// in one shared buffer, and SendPrepared (or Release) returns the storage
+// to the pool. A PreparedUpdate must therefore be transmitted or released
+// exactly once and never touched afterwards.
 type PreparedUpdate struct {
-	rects  []UpdateRect
-	bodies [][]byte
-	pfGen  uint8
+	rects []UpdateRect
+	spans [][2]int // [start,end) offsets of each body in buf
+	buf   []byte
+	pfGen uint8
+	sc    *encodeScratch // owning scratch; nil once consumed
 }
 
 // Empty reports whether the update carries no rectangles.
@@ -343,48 +362,75 @@ func (p *PreparedUpdate) Size() int {
 	if p.Empty() {
 		return 0
 	}
-	n := 4 // message type + pf generation + rect count
-	for _, body := range p.bodies {
-		n += 12 + len(body)
+	return 4 + 12*len(p.rects) + len(p.buf)
+}
+
+// Release returns the update's pooled storage without transmitting it.
+// Safe to call on a nil or already-consumed update.
+func (p *PreparedUpdate) Release() {
+	if p == nil || p.sc == nil {
+		return
 	}
-	return n
+	putScratch(p.sc)
 }
 
 // PrepareUpdate encodes the given rectangles against fb using the client's
-// current pixel format. fb may be nil when every rectangle is a CopyRect.
+// current pixel format, resolving EncAdaptive per rectangle from its
+// content. fb may be nil when every rectangle is a CopyRect. The returned
+// update is backed by pooled scratch; pass it to SendPrepared or Release
+// it.
 func (s *ServerConn) PrepareUpdate(fb *gfx.Framebuffer, rects []UpdateRect) (*PreparedUpdate, error) {
 	pf, gen := s.pixelFormatGen()
-	prep := &PreparedUpdate{
-		rects:  make([]UpdateRect, len(rects)),
-		bodies: make([][]byte, len(rects)),
-		pfGen:  gen,
-	}
-	copy(prep.rects, rects)
-	for i, ur := range rects {
+	s.smu.Lock()
+	mask := s.encMask
+	fallback := s.preferredLocked()
+	s.smu.Unlock()
+
+	sc := getScratch()
+	prep := &sc.prep
+	prep.sc = sc
+	prep.pfGen = gen
+	prep.rects = append(prep.rects[:0], rects...)
+	prep.spans = prep.spans[:0]
+	prep.buf = prep.buf[:0]
+	for i := range prep.rects {
+		ur := &prep.rects[i]
+		start := len(prep.buf)
 		if ur.Encoding == EncCopyRect {
-			b := make([]byte, 4)
+			var b [4]byte
 			be.PutUint16(b[0:], uint16(ur.CopySrcX))
 			be.PutUint16(b[2:], uint16(ur.CopySrcY))
-			prep.bodies[i] = b
+			prep.buf = append(prep.buf, b[:]...)
+			prep.spans = append(prep.spans, [2]int{start, len(prep.buf)})
+			countEncodedBytes(EncCopyRect, 4)
 			continue
 		}
-		body, err := encodeRect(nil, ur.Encoding, fb, ur.Rect, pf)
+		if ur.Encoding == EncAdaptive {
+			ur.Encoding = chooseEncoding(fb, ur.Rect, mask, fallback, sc)
+		}
+		buf, err := encodeRect(prep.buf, ur.Encoding, fb, ur.Rect, pf, sc)
 		if err != nil {
+			prep.Release()
 			return nil, err
 		}
-		prep.bodies[i] = body
+		prep.buf = buf
+		prep.spans = append(prep.spans, [2]int{start, len(prep.buf)})
+		countEncodedBytes(ur.Encoding, len(prep.buf)-start)
 	}
 	return prep, nil
 }
 
-// SendPrepared transmits a previously prepared update.
+// SendPrepared transmits a previously prepared update and releases its
+// pooled storage (also on error); the update must not be used afterwards.
 func (s *ServerConn) SendPrepared(prep *PreparedUpdate) error {
+	defer prep.Release()
 	if prep.Empty() {
 		return nil
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	cw := &countWriter{w: s.bw}
+	cw := &s.cw
+	cw.w, cw.n = s.bw, 0
 	if err := writeU8(cw, msgFramebufferUpdate); err != nil {
 		return err
 	}
@@ -405,7 +451,8 @@ func (s *ServerConn) SendPrepared(prep *PreparedUpdate) error {
 		if err := writeAll(cw, hdr[:]); err != nil {
 			return err
 		}
-		if err := writeAll(cw, prep.bodies[i]); err != nil {
+		span := prep.spans[i]
+		if err := writeAll(cw, prep.buf[span[0]:span[1]]); err != nil {
 			return err
 		}
 	}

@@ -26,13 +26,14 @@ import (
 // atomics. Under the multi-home hub these aggregate across every home's
 // server in the process.
 var (
-	mSessions      = metrics.Default().Gauge("server_sessions")
-	mKeyEvents     = metrics.Default().Counter("server_key_events_total")
-	mPointerEvents = metrics.Default().Counter("server_pointer_events_total")
-	mUpdatesSent   = metrics.Default().Counter("server_updates_sent_total")
-	mUpdateBytes   = metrics.Default().Counter("server_update_bytes_total")
-	mUpdateDrops   = metrics.Default().Counter("server_update_drops_total")
-	mEncodeSeconds = metrics.Default().Histogram("server_encode_seconds", metrics.LatencyBuckets())
+	mSessions       = metrics.Default().Gauge("server_sessions")
+	mKeyEvents      = metrics.Default().Counter("server_key_events_total")
+	mPointerEvents  = metrics.Default().Counter("server_pointer_events_total")
+	mUpdatesSent    = metrics.Default().Counter("server_updates_sent_total")
+	mUpdateBytes    = metrics.Default().Counter("server_update_bytes_total")
+	mUpdateDrops    = metrics.Default().Counter("server_update_drops_total")
+	mRectsCoalesced = metrics.Default().Counter("server_rects_coalesced_total")
+	mEncodeSeconds  = metrics.Default().Histogram("server_encode_seconds", metrics.LatencyBuckets())
 )
 
 // Server exports one display session to any number of proxy connections.
@@ -74,8 +75,9 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		srv:        s,
 		conn:       rc,
 		dirty:      gfx.NewDamage(gfx.R(0, 0, w, h), 16),
+		outbox:     gfx.NewDamage(gfx.R(0, 0, w, h), 16),
 		bounds:     gfx.R(0, 0, w, h),
-		out:        make(chan *rfb.PreparedUpdate, 8),
+		kick:       make(chan struct{}, 1),
 		quit:       make(chan struct{}),
 		writerDone: make(chan struct{}),
 	}
@@ -165,39 +167,139 @@ func (s *Server) pump() {
 // blocking on a slow transport — without it, a synchronous in-process
 // pipe can form a cycle: the read loop blocks writing an update, the peer
 // blocks writing a request, and neither side drains the other.
+//
+// The writer drains an outbox damage set rather than a queue of encoded
+// updates: while a write is in flight on a slow transport, every newly
+// requested rectangle merges into the pending gfx.Damage and the next
+// flush ships the coalesced region as ONE FramebufferUpdate. Backpressure
+// therefore reduces update count instead of growing a queue, and pixels
+// are encoded at most once per flush no matter how many damage events
+// landed on them.
 type session struct {
 	srv    *Server
 	conn   *rfb.ServerConn
 	bounds gfx.Rect
 
-	out        chan *rfb.PreparedUpdate
+	kick       chan struct{} // cap 1: work available for the writer
 	quit       chan struct{}
 	writerDone chan struct{}
 
-	mu      sync.Mutex
-	dirty   *gfx.Damage
-	pending *rfb.UpdateRequest // outstanding incremental request
+	mu         sync.Mutex
+	dirty      *gfx.Damage       // damage with no outstanding request yet
+	pending    rfb.UpdateRequest // parked incremental request
+	hasPending bool
+	outbox     *gfx.Damage // requested damage awaiting the writer
+	owedEmpty  int         // zero-rect replies owed (empty-region requests)
+
+	// Writer-goroutine-only scratch (no locking needed).
+	spare []gfx.Rect
+	urs   []rfb.UpdateRect
 }
 
-// writeLoop owns all update transmission for the session.
+// enqueue merges requested rectangles into the outbox and wakes the
+// writer. Rectangles landing while the outbox is non-empty are coalescing
+// with an update the writer has not shipped yet — the backpressure path.
+func (c *session) enqueue(rects []gfx.Rect) {
+	c.mu.Lock()
+	coalescing := !c.outbox.Empty()
+	n := 0
+	for _, r := range rects {
+		if !r.Empty() {
+			c.outbox.Add(r)
+			n++
+		}
+	}
+	c.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	if coalescing {
+		mRectsCoalesced.Add(int64(n))
+	}
+	c.wake()
+}
+
+func (c *session) wake() {
+	select {
+	case c.kick <- struct{}{}:
+	default: // writer already signalled
+	}
+}
+
+// writeLoop owns all update transmission for the session: it drains the
+// outbox (and owed empty replies), encodes under the display lock with
+// pooled scratch, and ships one FramebufferUpdate per drain.
 func (c *session) writeLoop() {
 	defer close(c.writerDone)
 	for {
 		select {
-		case prep := <-c.out:
-			if err := c.conn.SendPrepared(prep); err != nil {
-				// Transport failure: the read loop will observe it and
-				// tear the session down; keep draining so enqueuers
-				// never block on a dead session.
-				mUpdateDrops.Inc()
-				continue
-			}
-			mUpdatesSent.Inc()
-			mUpdateBytes.Add(int64(prep.Size()))
+		case <-c.kick:
 		case <-c.quit:
 			return
 		}
+		for {
+			select {
+			case <-c.quit:
+				return
+			default:
+			}
+			c.mu.Lock()
+			rects := c.outbox.TakeInto(c.spare)
+			c.spare = nil
+			empties := c.owedEmpty
+			c.owedEmpty = 0
+			c.mu.Unlock()
+			if len(rects) == 0 && empties == 0 {
+				c.spare = rects
+				break
+			}
+			for i := 0; i < empties; i++ {
+				if err := c.conn.SendEmptyUpdate(); err != nil {
+					mUpdateDrops.Inc()
+				} else {
+					mUpdatesSent.Inc()
+				}
+			}
+			if len(rects) > 0 {
+				c.flush(rects)
+			}
+			c.spare = rects
+		}
 	}
+}
+
+// flush encodes the coalesced rectangles (adaptive per-rect encoding on
+// pooled scratch) and transmits them as one FramebufferUpdate.
+func (c *session) flush(rects []gfx.Rect) {
+	urs := c.urs[:0]
+	for _, r := range rects {
+		urs = append(urs, rfb.UpdateRect{Rect: r, Encoding: rfb.EncAdaptive})
+	}
+	c.urs = urs
+	if len(urs) == 0 {
+		return
+	}
+	var (
+		prep *rfb.PreparedUpdate
+		err  error
+	)
+	start := time.Now()
+	c.srv.display.WithFramebuffer(func(fb *gfx.Framebuffer) {
+		prep, err = c.conn.PrepareUpdate(fb, urs)
+	})
+	mEncodeSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
+		return // encoding failure: drop the update, connection stays up
+	}
+	size := prep.Size()
+	if err := c.conn.SendPrepared(prep); err != nil {
+		// Transport failure: the read loop will observe it and tear the
+		// session down.
+		mUpdateDrops.Inc()
+		return
+	}
+	mUpdatesSent.Inc()
+	mUpdateBytes.Add(int64(size))
 }
 
 var _ rfb.ServerHandler = (*session)(nil)
@@ -218,82 +320,68 @@ func (c *session) PointerEvent(ev rfb.PointerEvent) {
 func (c *session) CutText(string) {}
 
 // UpdateRequest implements rfb.ServerHandler. Non-incremental requests are
-// answered immediately with the full region; incremental requests are
-// answered when damage exists, otherwise parked until damage arrives.
+// answered with the full region; incremental requests are answered when
+// damage exists, otherwise parked until damage arrives. All replies flow
+// through the writer's coalescing outbox so the read loop never blocks on
+// the transport.
 func (c *session) UpdateRequest(req rfb.UpdateRequest) {
 	// Ensure pending damage from before this connection is rendered.
 	c.srv.pump()
 	if !req.Incremental {
+		region := req.Region.Intersect(c.bounds)
 		c.mu.Lock()
 		c.dirty.Take() // full resend supersedes pending damage
-		c.pending = nil
-		c.mu.Unlock()
-		region := req.Region.Intersect(c.bounds)
+		c.hasPending = false
 		if region.Empty() {
-			// Every non-incremental request gets exactly one reply.
-			_ = c.conn.SendEmptyUpdate()
+			// Every non-incremental request gets exactly one reply, even
+			// when the region clips to nothing.
+			c.owedEmpty++
+			c.mu.Unlock()
+			c.wake()
 			return
 		}
-		c.send([]gfx.Rect{region})
+		c.mu.Unlock()
+		c.enqueue([]gfx.Rect{region})
 		return
 	}
 	c.mu.Lock()
 	if c.dirty.Empty() {
-		c.pending = &req
+		c.pending = req
+		c.hasPending = true
 		c.mu.Unlock()
 		return
 	}
 	rects := c.dirty.Take()
 	c.mu.Unlock()
-	c.send(clipAll(rects, req.Region))
+	c.enqueue(clipAll(rects, req.Region))
 }
 
 // addDirty accumulates fresh damage and satisfies a parked request.
 func (c *session) addDirty(rects []gfx.Rect) {
 	c.mu.Lock()
+	hadDirty := !c.dirty.Empty()
 	for _, r := range rects {
 		c.dirty.Add(r)
 	}
-	if c.pending == nil || c.dirty.Empty() {
+	if !c.hasPending || c.dirty.Empty() {
+		coalesced := !c.hasPending && hadDirty && len(rects) > 0
 		c.mu.Unlock()
+		if coalesced {
+			// No request is waiting and damage was already pending: the
+			// client is lagging the screen, so these rects merge into
+			// the accumulated set and will ship together — coalesced —
+			// on the next request. (A single rect landing on a clean
+			// session is just normal demand-driven flow and is not
+			// counted.)
+			mRectsCoalesced.Add(int64(len(rects)))
+		}
 		return
 	}
-	req := *c.pending
-	c.pending = nil
+	req := c.pending
+	c.hasPending = false
 	out := clipAll(c.dirty.Take(), req.Region)
 	c.mu.Unlock()
-	c.send(out)
-}
-
-// send encodes under the display lock and hands the result to the writer
-// goroutine.
-func (c *session) send(rects []gfx.Rect) {
-	urs := make([]rfb.UpdateRect, 0, len(rects))
-	enc := c.conn.PreferredEncoding()
-	for _, r := range rects {
-		if !r.Empty() {
-			urs = append(urs, rfb.UpdateRect{Rect: r, Encoding: enc})
-		}
-	}
-	if len(urs) == 0 {
-		return
-	}
-	var (
-		prep *rfb.PreparedUpdate
-		err  error
-	)
-	start := time.Now()
-	c.srv.display.WithFramebuffer(func(fb *gfx.Framebuffer) {
-		prep, err = c.conn.PrepareUpdate(fb, urs)
-	})
-	mEncodeSeconds.ObserveDuration(time.Since(start))
-	if err != nil {
-		return // encoding failure: drop the update, connection stays up
-	}
-	select {
-	case c.out <- prep:
-	case <-c.quit: // session torn down: drop
-	}
+	c.enqueue(out)
 }
 
 func clipAll(rects []gfx.Rect, clip gfx.Rect) []gfx.Rect {

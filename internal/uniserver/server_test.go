@@ -273,6 +273,76 @@ func TestServeAcceptLoop(t *testing.T) {
 	srv.Close()
 }
 
+// slowConn delays every read, simulating a narrow client link so writes
+// from the server back up and the coalescing path engages.
+type slowConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (s *slowConn) Read(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	return s.Conn.Read(p)
+}
+
+// TestBackpressureCoalescesUpdates: a burst of pipelined full-region
+// requests against a slow client must be answered with FEWER updates than
+// requests — while one write is in flight, later requested damage merges
+// into the pending outbox and ships as one coalesced FramebufferUpdate —
+// and the final shadow framebuffer must still match the display.
+func TestBackpressureCoalescesUpdates(t *testing.T) {
+	display := toolkit.NewDisplay(160, 120)
+	srv := New(display, "coalesce test")
+	root := toolkit.NewPanel(toolkit.VBox{Gap: 2, Padding: 2})
+	root.Add(toolkit.NewLabel("backpressure"))
+	display.SetRoot(root)
+
+	sc, cc := net.Pipe()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.HandleConn(sc) }()
+	client, err := rfb.Dial(&slowConn{Conn: cc, delay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newRecorder()
+	runDone := make(chan struct{})
+	go func() { client.Run(rec); close(runDone) }()
+	defer func() {
+		client.Close()
+		srv.Close()
+		<-runDone
+		<-serveErr
+	}()
+
+	const burst = 12
+	before := mRectsCoalesced.Value()
+	for i := 0; i < burst; i++ {
+		if err := client.RequestUpdate(false, gfx.R(0, 0, 160, 120)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until every request has been answered or folded into a
+	// coalesced reply: updates stop growing once the outbox drains.
+	waitFor(t, "replies to settle", func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return rec.updates >= 1 && int64(rec.updates)+(mRectsCoalesced.Value()-before) >= burst
+	})
+	time.Sleep(20 * time.Millisecond) // let any straggler land
+	rec.mu.Lock()
+	got := rec.updates
+	rec.mu.Unlock()
+	if got >= burst {
+		t.Errorf("no coalescing: %d updates for %d pipelined requests", got, burst)
+	}
+	if mRectsCoalesced.Value() == before {
+		t.Error("coalesced-rects counter did not move")
+	}
+	if !client.Snapshot(gfx.R(0, 0, 160, 120)).Equal(display.Snapshot(gfx.R(0, 0, 160, 120))) {
+		t.Error("shadow diverged from display after coalesced replies")
+	}
+}
+
 func TestEmptyRegionRequestGetsEmptyReply(t *testing.T) {
 	_, _, client, rec := wire(t)
 	// A non-incremental request for a region entirely off-screen must

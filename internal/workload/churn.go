@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uniint/internal/gfx"
+)
+
+// Screen churn: the output-side stress workload for the update pipeline.
+// A churn scenario is a fixed set of mutating screen regions ("spots" —
+// tickers, meters, clocks on a busy control panel) plus a seeded step
+// stream; each step repaints one spot with fresh content. Replaying the
+// stream as fast as the pipeline drains it exercises damage tracking,
+// adaptive encoding and backpressure coalescing with a realistic damage
+// shape (many small, hot rectangles instead of full-frame refreshes).
+
+// ChurnSpot is one mutating region of a churn scenario.
+type ChurnSpot struct {
+	// Rect is the spot's screen region.
+	Rect gfx.Rect
+	// Kind selects the painted content: "meter" (a filling bar),
+	// "ticker" (high-contrast text-like stripes) or "blink" (a flat
+	// fill alternating colors).
+	Kind string
+}
+
+// ChurnStep is one scripted mutation: repaint spot #Spot with value Value
+// (the meaning of the value depends on the spot's kind; for label-backed
+// scenarios use Text).
+type ChurnStep struct {
+	Spot  int
+	Value int
+	// Text is a rendered form of Value for widget-backed replays
+	// (label.SetText and friends).
+	Text string
+}
+
+// ScreenChurn is a deterministic screen-churn scenario.
+type ScreenChurn struct {
+	Spots []ChurnSpot
+
+	rng  *rand.Rand
+	step int
+}
+
+// NewScreenChurn builds a scenario with n spots laid out inside bounds,
+// deterministic under seed.
+func NewScreenChurn(bounds gfx.Rect, n int, seed int64) *ScreenChurn {
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []string{"meter", "ticker", "blink"}
+	c := &ScreenChurn{rng: rng}
+	for _, r := range WidgetDamage(bounds, n, seed+1) {
+		c.Spots = append(c.Spots, ChurnSpot{
+			Rect: r,
+			Kind: kinds[rng.Intn(len(kinds))],
+		})
+	}
+	return c
+}
+
+// Next returns the next scripted mutation.
+func (c *ScreenChurn) Next() ChurnStep {
+	spot := c.rng.Intn(len(c.Spots))
+	v := c.step
+	c.step++
+	return ChurnStep{
+		Spot:  spot,
+		Value: v,
+		Text:  fmt.Sprintf("%s %04d", c.Spots[spot].Kind, v%10000),
+	}
+}
+
+// Apply paints one step directly into fb and returns the damaged rect —
+// the framebuffer-level replay used when no widget toolkit is in the
+// loop (encoder and hub benchmarks).
+func (c *ScreenChurn) Apply(fb *gfx.Framebuffer, st ChurnStep) gfx.Rect {
+	s := c.Spots[st.Spot]
+	r := s.Rect.Intersect(fb.Bounds())
+	if r.Empty() {
+		return r
+	}
+	switch s.Kind {
+	case "meter":
+		fb.Fill(r, gfx.White)
+		fill := r
+		fill.W = r.W * (st.Value%100 + 1) / 100
+		fb.Fill(fill, gfx.Blue)
+		fb.Border(r, gfx.DarkGray)
+	case "ticker":
+		fb.Fill(r, gfx.Black)
+		// High-contrast vertical stripes shifting per step: text-like
+		// content without a font dependency.
+		for x := r.X + st.Value%3; x < r.MaxX(); x += 3 {
+			fb.VLine(x, r.Y, r.H, gfx.Green)
+		}
+	default: // blink
+		colors := []gfx.Color{gfx.Red, gfx.Yellow, gfx.Navy, gfx.LightGray}
+		fb.Fill(r, colors[st.Value%len(colors)])
+	}
+	return r
+}
+
+// Run replays steps mutations into fb, invoking flush after each with the
+// damaged rect. It returns the damaged rects' total area — a checksum-ish
+// figure for tests and reports.
+func (c *ScreenChurn) Run(fb *gfx.Framebuffer, steps int, flush func(gfx.Rect)) int {
+	area := 0
+	for i := 0; i < steps; i++ {
+		r := c.Apply(fb, c.Next())
+		area += r.Area()
+		if flush != nil {
+			flush(r)
+		}
+	}
+	return area
+}

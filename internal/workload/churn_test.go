@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"testing"
+
+	"uniint/internal/gfx"
+)
+
+func TestScreenChurnDeterministic(t *testing.T) {
+	bounds := gfx.R(0, 0, 320, 240)
+	a := NewScreenChurn(bounds, 8, 42)
+	b := NewScreenChurn(bounds, 8, 42)
+	if len(a.Spots) != 8 || len(b.Spots) != 8 {
+		t.Fatalf("spots = %d/%d, want 8", len(a.Spots), len(b.Spots))
+	}
+	for i := 0; i < 100; i++ {
+		sa, sb := a.Next(), b.Next()
+		if sa != sb {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, sa, sb)
+		}
+	}
+}
+
+func TestScreenChurnApplyDamagesOnlySpot(t *testing.T) {
+	bounds := gfx.R(0, 0, 160, 120)
+	c := NewScreenChurn(bounds, 4, 7)
+	fb := gfx.NewFramebuffer(160, 120)
+	ref := fb.Clone()
+	st := c.Next()
+	r := c.Apply(fb, st)
+	if r.Empty() {
+		t.Fatal("apply damaged nothing")
+	}
+	if !c.Spots[st.Spot].Rect.Intersect(bounds).ContainsRect(r) {
+		t.Errorf("damage %+v outside spot %+v", r, c.Spots[st.Spot].Rect)
+	}
+	diff := fb.DiffRect(ref)
+	if !r.ContainsRect(diff) {
+		t.Errorf("pixels changed outside reported damage: diff %+v, reported %+v", diff, r)
+	}
+}
+
+func TestScreenChurnRun(t *testing.T) {
+	c := NewScreenChurn(gfx.R(0, 0, 160, 120), 4, 1)
+	fb := gfx.NewFramebuffer(160, 120)
+	flushes := 0
+	area := c.Run(fb, 25, func(r gfx.Rect) {
+		if r.Empty() {
+			t.Error("flush with empty rect")
+		}
+		flushes++
+	})
+	if flushes != 25 {
+		t.Errorf("flushes = %d, want 25", flushes)
+	}
+	if area <= 0 {
+		t.Error("no damage area accumulated")
+	}
+}
