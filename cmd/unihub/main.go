@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +46,7 @@ func main() {
 	width := flag.Int("width", 320, "per-home desktop width")
 	height := flag.Int("height", 240, "per-home desktop height")
 	drainTimeout := flag.Duration("drain", 5*time.Second, "graceful drain window on shutdown")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics address")
 	demo := flag.Bool("demo", false, "run the multi-home demo workload in process, print metrics, exit")
 	demoDevices := flag.Int("demo-devices", 2, "interaction devices per home in -demo")
 	demoSteps := flag.Int("demo-steps", 30, "scripted interactions per device in -demo")
@@ -55,7 +57,8 @@ func main() {
 		homes: *homes, classes: *classes, shards: *shards,
 		maxHomes: *maxHomes, idle: *idle,
 		width: *width, height: *height, drainTimeout: *drainTimeout,
-		demo: *demo, demoDevices: *demoDevices, demoSteps: *demoSteps,
+		pprof: *pprofFlag,
+		demo:  *demo, demoDevices: *demoDevices, demoSteps: *demoSteps,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "unihub:", err)
 		os.Exit(1)
@@ -70,6 +73,7 @@ type config struct {
 	idle                  time.Duration
 	width, height         int
 	drainTimeout          time.Duration
+	pprof                 bool
 	demo                  bool
 	demoDevices           int
 	demoSteps             int
@@ -137,6 +141,15 @@ func run(cfg config) error {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			_ = metrics.Default().WriteText(w)
 		})
+		if cfg.pprof {
+			// Profiling rides the metrics mux: `go tool pprof
+			// http://host:9190/debug/pprof/profile` against a live hub.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		mln, err := net.Listen("tcp", cfg.metricsListen)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
@@ -144,6 +157,9 @@ func run(cfg config) error {
 		defer mln.Close()
 		go func() { _ = http.Serve(mln, mux) }()
 		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+		if cfg.pprof {
+			fmt.Printf("pprof on http://%s/debug/pprof/\n", mln.Addr())
+		}
 	}
 
 	ln, err := net.Listen("tcp", cfg.listen)

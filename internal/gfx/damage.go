@@ -117,6 +117,9 @@ func (d *Damage) absorbInto(i int) {
 // Empty reports whether no damage is pending.
 func (d *Damage) Empty() bool { return len(d.rects) == 0 }
 
+// ClipBounds returns the clip rectangle damage is limited to.
+func (d *Damage) ClipBounds() Rect { return d.bounds }
+
 // Bounds returns the union of all pending damage (empty Rect when clean).
 func (d *Damage) Bounds() Rect {
 	var u Rect

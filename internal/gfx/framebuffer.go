@@ -53,16 +53,21 @@ func (f *Framebuffer) Set(x, y int, c Color) {
 }
 
 // Fill paints every pixel inside r (clipped to the framebuffer) with c.
+// The first row is filled by copy-doubling and the remaining rows are
+// row-to-row copies, so wide fills run at memmove speed instead of a
+// per-pixel store loop.
 func (f *Framebuffer) Fill(r Rect, c Color) {
 	r = r.Intersect(f.Bounds())
 	if r.Empty() {
 		return
 	}
-	for y := r.Y; y < r.MaxY(); y++ {
-		row := f.pix[y*f.w+r.X : y*f.w+r.MaxX()]
-		for i := range row {
-			row[i] = c
-		}
+	row0 := f.pix[r.Y*f.w+r.X : r.Y*f.w+r.MaxX()]
+	row0[0] = c
+	for n := 1; n < len(row0); n *= 2 {
+		copy(row0[n:], row0[:n])
+	}
+	for y := r.Y + 1; y < r.MaxY(); y++ {
+		copy(f.pix[y*f.w+r.X:y*f.w+r.MaxX()], row0)
 	}
 }
 

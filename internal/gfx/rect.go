@@ -101,6 +101,32 @@ func (r Rect) Inset(n int) Rect {
 	return r
 }
 
+// SubtractInto appends to dst up to four disjoint rectangles that exactly
+// cover r minus s, and returns the extended slice. With a stack-backed dst
+// of capacity 4 the operation is allocation-free.
+func (r Rect) SubtractInto(dst []Rect, s Rect) []Rect {
+	if r.Empty() {
+		return dst
+	}
+	s = s.Intersect(r)
+	if s.Empty() {
+		return append(dst, r)
+	}
+	if s.Y > r.Y { // band above s
+		dst = append(dst, Rect{X: r.X, Y: r.Y, W: r.W, H: s.Y - r.Y})
+	}
+	if s.MaxY() < r.MaxY() { // band below s
+		dst = append(dst, Rect{X: r.X, Y: s.MaxY(), W: r.W, H: r.MaxY() - s.MaxY()})
+	}
+	if s.X > r.X { // band left of s, within s's rows
+		dst = append(dst, Rect{X: r.X, Y: s.Y, W: s.X - r.X, H: s.H})
+	}
+	if s.MaxX() < r.MaxX() { // band right of s, within s's rows
+		dst = append(dst, Rect{X: s.MaxX(), Y: s.Y, W: r.MaxX() - s.MaxX(), H: s.H})
+	}
+	return dst
+}
+
 // Canon returns the canonical form of r: empty rectangles all map to the
 // zero Rect so that equality comparisons behave.
 func (r Rect) Canon() Rect {

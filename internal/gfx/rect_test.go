@@ -141,3 +141,37 @@ func TestRectTranslate(t *testing.T) {
 		t.Errorf("Translate = %+v", got)
 	}
 }
+
+// TestSubtractInto checks the rectangle-difference decomposition per-pixel
+// against set semantics: the parts are disjoint and cover exactly r \ s.
+func TestSubtractInto(t *testing.T) {
+	cases := []struct{ r, s Rect }{
+		{R(0, 0, 10, 10), R(2, 2, 4, 4)},    // hole in the middle
+		{R(0, 0, 10, 10), R(0, 0, 10, 10)},  // exact cover → nothing left
+		{R(0, 0, 10, 10), R(20, 20, 5, 5)},  // disjoint → r intact
+		{R(0, 0, 10, 10), R(-5, -5, 8, 8)},  // overlap top-left corner
+		{R(0, 0, 10, 10), R(5, -5, 20, 20)}, // right half shaved off
+		{R(0, 0, 10, 10), R(0, 4, 10, 2)},   // horizontal band
+		{R(3, 3, 0, 5), R(1, 1, 4, 4)},      // empty r → nothing
+		{R(0, 0, 10, 10), R(4, 4, 0, 0)},    // empty s → r intact
+	}
+	for ci, tc := range cases {
+		var buf [4]Rect
+		parts := tc.r.SubtractInto(buf[:0], tc.s)
+		for y := -8; y < 20; y++ {
+			for x := -8; x < 20; x++ {
+				want := tc.r.Contains(x, y) && !tc.s.Contains(x, y)
+				got := 0
+				for _, p := range parts {
+					if p.Contains(x, y) {
+						got++
+					}
+				}
+				if (want && got != 1) || (!want && got != 0) {
+					t.Fatalf("case %d: point (%d,%d): covered %d times, want %v",
+						ci, x, y, got, want)
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,18 @@ import (
 	"sync"
 
 	"uniint/internal/gfx"
+	"uniint/internal/metrics"
+)
+
+// Render-path instruments. repainted vs full pixels is the damage-clipped
+// renderer's win: one-widget updates repaint O(widget) pixels where the
+// pre-incremental renderer repainted the whole screen.
+var (
+	mRenderFrames  = metrics.Default().Counter("render_frames_total")
+	mRenderPx      = metrics.Default().Counter("render_px_repainted_total")
+	mRenderFullPx  = metrics.Default().Counter("render_px_full_total")
+	mRenderVisited = metrics.Default().Counter("render_widgets_visited_total")
+	mRenderPainted = metrics.Default().Counter("render_widgets_painted_total")
 )
 
 // Display is a window-system session: a framebuffer, a widget tree, a
@@ -13,17 +25,28 @@ import (
 // Display methods are safe for concurrent use. Widget callbacks (OnClick
 // and friends) run with the display lock held; they must not call Display
 // methods synchronously — hand work off to another goroutine instead.
+//
+// Two locks split the session: mu guards the widget tree, damage and input
+// state; fbMu guards the framebuffer pixels (always acquired after mu).
+// Readers that only need pixels — the encode path shipping rectangles to a
+// proxy — take fbMu alone, so a slow encode never blocks the input/event
+// path, and painting (which needs both) is damage-bounded and brief.
 type Display struct {
 	mu      sync.Mutex
-	fb      *gfx.Framebuffer
 	damage  *gfx.Damage
+	scratch []gfx.Rect // ping-pongs with the damage tracker via TakeInto
+	gen     uint64     // damage generation; see widgetBase.dirtyGen
+	notify  bool       // new damage since the last hook firing
 	root    Widget
 	focus   Widget
 	grab    Widget // widget holding the pointer between press and release
 	buttons uint8  // last observed pointer button mask
 	px, py  int    // last pointer position
 
-	// damageHooks are run (without the lock) after new damage appears;
+	fbMu sync.Mutex
+	fb   *gfx.Framebuffer
+
+	// damageHooks are run (without the locks) after new damage appears;
 	// the UniInt server uses this to answer pending incremental requests.
 	hookMu      sync.Mutex
 	damageHooks []func()
@@ -34,6 +57,7 @@ func NewDisplay(w, h int) *Display {
 	d := &Display{
 		fb:     gfx.NewFramebuffer(w, h),
 		damage: gfx.NewDamage(gfx.R(0, 0, w, h), 16),
+		gen:    1,
 	}
 	root := NewPanel(VBox{Gap: 4, Padding: 4})
 	d.SetRoot(root)
@@ -42,26 +66,51 @@ func NewDisplay(w, h int) *Display {
 
 // Size returns the framebuffer geometry.
 func (d *Display) Size() (w, h int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.fbMu.Lock()
+	defer d.fbMu.Unlock()
 	return d.fb.W(), d.fb.H()
 }
 
 // SetRoot installs the root widget, sizes it to the display, resets focus
-// to the first focusable widget and marks everything dirty.
+// to the first focusable widget and marks everything dirty — one of the two
+// events (with Resize) still paid for with a full-tree repaint.
 func (d *Display) SetRoot(w Widget) {
 	d.mu.Lock()
 	d.root = w
 	if w != nil {
 		attachTree(w, d)
-		w.SetBounds(d.fb.Bounds())
+		w.SetBounds(d.fbBounds())
 	}
 	d.focus = nil
 	d.grab = nil
 	d.focusFirstLocked()
 	d.damage.AddAll()
+	d.notify = true
 	d.mu.Unlock()
 	d.notifyDamage()
+}
+
+// Resize replaces the framebuffer with a w×h one, re-lays-out the root and
+// marks everything dirty.
+func (d *Display) Resize(w, h int) {
+	d.mu.Lock()
+	d.fbMu.Lock()
+	d.fb = gfx.NewFramebuffer(w, h)
+	d.fbMu.Unlock()
+	d.damage.Resize(gfx.R(0, 0, w, h))
+	if d.root != nil {
+		d.root.SetBounds(gfx.R(0, 0, w, h))
+	}
+	d.notify = true
+	d.mu.Unlock()
+	d.notifyDamage()
+}
+
+// fbBounds returns the framebuffer bounds (callers hold mu but not fbMu).
+func (d *Display) fbBounds() gfx.Rect {
+	d.fbMu.Lock()
+	defer d.fbMu.Unlock()
+	return d.fb.Bounds()
 }
 
 // Root returns the current root widget.
@@ -79,52 +128,142 @@ func (d *Display) OnDamage(fn func()) {
 	d.damageHooks = append(d.damageHooks, fn)
 }
 
+// notifyDamage fires the damage hooks — but only when damage actually
+// arrived since the last firing. No-op state echoes from appliances (a
+// SetOn(true) on an already-on toggle, a SetText with the same string)
+// post no damage and therefore wake nobody.
 func (d *Display) notifyDamage() {
+	d.mu.Lock()
+	fire := d.notify
+	d.notify = false
+	d.mu.Unlock()
+	if !fire {
+		return
+	}
 	d.hookMu.Lock()
-	hooks := make([]func(), len(d.damageHooks))
-	copy(hooks, d.damageHooks)
+	hooks := d.damageHooks
 	d.hookMu.Unlock()
+	// hooks is only ever appended to under hookMu; iterating the snapshot
+	// header without a copy is safe (a hook registered concurrently just
+	// misses this round).
 	for _, fn := range hooks {
 		fn()
 	}
 }
 
 // addDamage is called by widgets (with the lock already held).
-func (d *Display) addDamage(r gfx.Rect) { d.damage.Add(r) }
+func (d *Display) addDamage(r gfx.Rect) {
+	r = r.Intersect(d.damage.ClipBounds())
+	if r.Empty() {
+		return
+	}
+	d.damage.Add(r)
+	d.notify = true
+}
 
-// Render repaints the widget tree if dirty and returns the damage
-// rectangles that were refreshed (nil when nothing changed).
+// InvalidateAll marks the whole display dirty, forcing a full repaint on
+// the next render (e.g. after an output device switch).
+func (d *Display) InvalidateAll() {
+	d.mu.Lock()
+	d.damage.AddAll()
+	d.notify = true
+	d.mu.Unlock()
+	d.notifyDamage()
+}
+
+// Render repaints the damaged parts of the widget tree and returns a copy
+// of the refreshed rectangles (nil when nothing changed). Hot paths that
+// must not allocate use RenderInto instead.
 func (d *Display) Render() []gfx.Rect {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.renderLocked()
+	rects := d.renderLocked()
+	if rects == nil {
+		return nil
+	}
+	out := make([]gfx.Rect, len(rects))
+	copy(out, rects)
+	return out
 }
 
+// RenderInto is Render with caller-owned result storage: the refreshed
+// rectangles are appended to dst[:0] and returned. With a recycled dst the
+// steady-state render path performs zero allocations.
+func (d *Display) RenderInto(dst []gfx.Rect) []gfx.Rect {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rects := d.renderLocked()
+	if len(rects) == 0 {
+		return dst[:0]
+	}
+	return append(dst[:0], rects...)
+}
+
+// renderLocked drains the damage set and repaints only widgets whose
+// bounds intersect a damage rectangle, with painting clipped to that
+// rectangle. Full-tree repaint is just the special case of one damage rect
+// covering the screen (SetRoot/Resize). The returned slice is internal
+// scratch: valid only until the next render, callers copy under mu.
 func (d *Display) renderLocked() []gfx.Rect {
 	if d.damage.Empty() {
 		return nil
 	}
-	rects := d.damage.Take()
+	// Ping-pong two buffers through the tracker: rects was accumulated
+	// damage, d.scratch re-arms the tracker, and rects becomes the next
+	// re-arm after this render. Nothing escapes mu, so nothing races.
+	rects := d.damage.TakeInto(d.scratch)
+	d.scratch = rects
+	d.gen++ // every widget's dirty flag is now stale ("clean")
+	var visited, painted, px int64
 	if d.root != nil {
-		paintTree(d.root, d.fb)
+		d.fbMu.Lock()
+		p := gfx.NewPainter(d.fb)
+		for _, r := range rects {
+			v, n := paintClipped(d.root, p, r)
+			visited += int64(v)
+			painted += int64(n)
+			// Damage rects may partially overlap (the tracker only merges
+			// exact covers); overlap pixels are painted once per rect, so
+			// summing areas reports pixels *painted*, the actual work.
+			px += int64(r.Intersect(d.fb.Bounds()).Area())
+		}
+		mRenderFullPx.Add(int64(d.fb.Bounds().Area()))
+		d.fbMu.Unlock()
 	}
+	mRenderFrames.Inc()
+	mRenderPx.Add(px)
+	mRenderVisited.Add(visited)
+	mRenderPainted.Add(painted)
 	return rects
 }
 
-func paintTree(w Widget, fb *gfx.Framebuffer) {
+// paintClipped walks the tree under damage rectangle clip: every visible
+// widget intersecting clip repaints, restricted to (its bounds ∩ clip).
+// Subtrees are not pruned on a parent miss — layouts like Fixed allow
+// children outside their parent's bounds — but the per-node cost of a miss
+// is a rectangle test, not pixels.
+func paintClipped(w Widget, p gfx.Painter, clip gfx.Rect) (visited, painted int) {
 	if !w.Visible() {
-		return
+		return 0, 0
 	}
-	w.Paint(fb)
+	visited = 1
+	if sub := p.In(clip).In(w.Bounds()); !sub.Empty() {
+		w.Paint(sub)
+		painted = 1
+	}
 	for _, c := range w.Children() {
-		paintTree(c, fb)
+		v, n := paintClipped(c, p, clip)
+		visited += v
+		painted += n
 	}
+	return visited, painted
 }
 
 // Update runs fn with the display lock held and fires damage hooks
-// afterwards. Any code mutating widgets from outside an event callback
-// (e.g. the home application reacting to appliance state changes) must go
-// through Update. fn must not call other Display methods.
+// afterwards (only if fn actually damaged something). Any code mutating
+// widgets from outside an event callback (e.g. the home application
+// reacting to appliance state changes) must go through Update. fn must not
+// call other Display methods.
 func (d *Display) Update(fn func()) {
 	d.mu.Lock()
 	fn()
@@ -133,11 +272,12 @@ func (d *Display) Update(fn func()) {
 }
 
 // WithFramebuffer runs fn with the framebuffer locked. The UniInt server
-// uses this to encode update rectangles without copying. fn must not call
-// back into the display.
+// uses this to encode update rectangles without copying. Only the pixel
+// lock is held: input injection and widget mutation proceed while fn runs,
+// renders wait. fn must not call back into the display.
 func (d *Display) WithFramebuffer(fn func(fb *gfx.Framebuffer)) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.fbMu.Lock()
+	defer d.fbMu.Unlock()
 	fn(d.fb)
 }
 
@@ -146,6 +286,8 @@ func (d *Display) Snapshot(r gfx.Rect) *gfx.Framebuffer {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.renderLocked()
+	d.fbMu.Lock()
+	defer d.fbMu.Unlock()
 	return d.fb.SubImage(r)
 }
 

@@ -29,6 +29,9 @@ func NewPanel(layout Layout) *Panel {
 
 // SetTitle draws the panel as a titled group box.
 func (p *Panel) SetTitle(t string) {
+	if p.title == t {
+		return
+	}
 	p.title = t
 	p.border = t != ""
 	p.Invalidate()
@@ -39,6 +42,9 @@ func (p *Panel) Title() string { return p.title }
 
 // SetBackground changes the fill color.
 func (p *Panel) SetBackground(c gfx.Color) {
+	if p.background == c {
+		return
+	}
 	p.background = c
 	p.Invalidate()
 }
@@ -108,18 +114,18 @@ func (p *Panel) PreferredSize() (int, int) {
 }
 
 // Paint implements Widget.
-func (p *Panel) Paint(fb *gfx.Framebuffer) {
-	fb.Fill(p.bounds, p.background)
+func (p *Panel) Paint(g gfx.Painter) {
+	g.Fill(p.bounds, p.background)
 	if p.border {
 		box := p.bounds
 		box.Y += gfx.GlyphH / 2
 		box.H -= gfx.GlyphH / 2
-		fb.Border(box, gfx.DarkGray)
+		g.Border(box, gfx.DarkGray)
 		if p.title != "" {
 			tw := gfx.TextWidth(p.title)
 			tx := p.bounds.X + 8
-			fb.Fill(gfx.R(tx-2, p.bounds.Y, tw+4, gfx.GlyphH), p.background)
-			gfx.DrawText(fb, tx, p.bounds.Y, p.title, gfx.Black)
+			g.Fill(gfx.R(tx-2, p.bounds.Y, tw+4, gfx.GlyphH), p.background)
+			g.DrawText(tx, p.bounds.Y, p.title, gfx.Black)
 		}
 	}
 }

@@ -85,13 +85,13 @@ func (s *Slider) track() gfx.Rect {
 }
 
 // Paint implements Widget.
-func (s *Slider) Paint(fb *gfx.Framebuffer) {
-	fb.Fill(s.bounds, gfx.LightGray)
+func (s *Slider) Paint(g gfx.Painter) {
+	g.Fill(s.bounds, gfx.LightGray)
 	y := s.bounds.Y + (s.bounds.H-gfx.TextHeight())/2 + 1
-	gfx.DrawTextClipped(fb, s.bounds.X+2, y, s.label, gfx.Black, s.bounds)
+	g.DrawText(s.bounds.X+2, y, s.label, gfx.Black)
 	tr := s.track()
-	fb.Fill(tr, gfx.White)
-	fb.Border(tr, gfx.DarkGray)
+	g.Fill(tr, gfx.White)
+	g.Border(tr, gfx.DarkGray)
 	// Knob position.
 	span := s.max - s.min
 	kx := tr.X
@@ -99,13 +99,13 @@ func (s *Slider) Paint(fb *gfx.Framebuffer) {
 		kx = tr.X + (s.value-s.min)*(tr.W-6)/span
 	}
 	knob := gfx.R(kx, tr.Y-4, 6, 12)
-	fb.Fill(knob, gfx.Gray)
-	fb.Bevel(knob, false)
+	g.Fill(knob, gfx.Gray)
+	g.Bevel(knob, false)
 	// Value readout.
 	val := strconv.Itoa(s.value)
-	gfx.DrawTextClipped(fb, s.bounds.MaxX()-gfx.TextWidth(val)-2, y, val, gfx.Navy, s.bounds)
+	g.DrawText(s.bounds.MaxX()-gfx.TextWidth(val)-2, y, val, gfx.Navy)
 	if s.focused {
-		fb.Border(s.bounds, gfx.Navy)
+		g.Border(s.bounds, gfx.Navy)
 	}
 }
 
@@ -208,10 +208,10 @@ func (p *ProgressBar) SetValue(v int) {
 func (p *ProgressBar) PreferredSize() (int, int) { return 120, 12 }
 
 // Paint implements Widget.
-func (p *ProgressBar) Paint(fb *gfx.Framebuffer) {
-	fb.Fill(p.bounds, gfx.White)
+func (p *ProgressBar) Paint(g gfx.Painter) {
+	g.Fill(p.bounds, gfx.White)
 	fill := p.bounds
 	fill.W = p.bounds.W * p.value / 100
-	fb.Fill(fill, gfx.Blue)
-	fb.Border(p.bounds, gfx.DarkGray)
+	g.Fill(fill, gfx.Blue)
+	g.Border(p.bounds, gfx.DarkGray)
 }

@@ -11,8 +11,11 @@ type Widget interface {
 	SetBounds(r gfx.Rect)
 	// PreferredSize reports the size the widget would like to occupy.
 	PreferredSize() (w, h int)
-	// Paint draws the widget into fb. Parents paint before children.
-	Paint(fb *gfx.Framebuffer)
+	// Paint draws the widget into g. The painter's clip is (widget bounds ∩
+	// damage rect): a widget may be asked to repaint any sub-rectangle of
+	// itself, and nothing it draws can land outside its own bounds. Parents
+	// paint before children.
+	Paint(g gfx.Painter)
 	// Children returns the widget's children (nil for leaves).
 	Children() []Widget
 	// HandleMouse processes a pointer event already known to hit this
@@ -40,6 +43,14 @@ type widgetBase struct {
 	hidden  bool
 	focused bool
 	enabled bool
+
+	// dirtyGen is the display damage generation in which this widget last
+	// posted its full bounds as damage — the per-widget dirty flag. While
+	// it matches the display's current generation, further Invalidate
+	// calls are no-ops: the widget's area is already fully covered by
+	// pending damage. The renderer bumps the generation when it drains
+	// damage, which implicitly "cleans" every widget at once.
+	dirtyGen uint64
 }
 
 func newWidgetBase() widgetBase { return widgetBase{enabled: true} }
@@ -56,6 +67,7 @@ func (b *widgetBase) SetBounds(r gfx.Rect) {
 	b.bounds = r
 	b.invalidate(old)
 	b.invalidate(r)
+	b.markDirty()
 }
 
 // Children returns nil; containers override.
@@ -106,8 +118,19 @@ func (b *widgetBase) SetEnabled(v bool) {
 // Focused reports whether the widget currently holds keyboard focus.
 func (b *widgetBase) Focused() bool { return b.focused }
 
-// Invalidate marks the widget's area as needing repaint.
-func (b *widgetBase) Invalidate() { b.invalidate(b.bounds) }
+// Invalidate marks the widget's area as needing repaint. Repeated calls
+// between renders are free: once the widget's bounds are in the pending
+// damage set, further invalidations short-circuit on the dirty flag.
+func (b *widgetBase) Invalidate() {
+	if b.display == nil {
+		return
+	}
+	if b.dirtyGen == b.display.gen {
+		return // bounds already fully damaged since the last render
+	}
+	b.dirtyGen = b.display.gen
+	b.display.addDamage(b.bounds)
+}
 
 func (b *widgetBase) invalidate(r gfx.Rect) {
 	if b.display != nil {
@@ -115,7 +138,18 @@ func (b *widgetBase) invalidate(r gfx.Rect) {
 	}
 }
 
-func (b *widgetBase) attach(d *Display) { b.display = d }
+// markDirty records that the widget's current bounds are covered by
+// pending damage without posting anything (callers already did).
+func (b *widgetBase) markDirty() {
+	if b.display != nil {
+		b.dirtyGen = b.display.gen
+	}
+}
+
+func (b *widgetBase) attach(d *Display) {
+	b.display = d
+	b.dirtyGen = 0
+}
 
 // attachTree wires w and all descendants to d.
 func attachTree(w Widget, d *Display) {

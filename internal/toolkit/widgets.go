@@ -41,12 +41,18 @@ func (l *Label) Text() string { return l.text }
 
 // SetAlign changes the horizontal alignment.
 func (l *Label) SetAlign(a Align) {
+	if l.align == a {
+		return
+	}
 	l.align = a
 	l.Invalidate()
 }
 
 // SetColor changes the text color.
 func (l *Label) SetColor(c gfx.Color) {
+	if l.color == c {
+		return
+	}
 	l.color = c
 	l.Invalidate()
 }
@@ -57,7 +63,7 @@ func (l *Label) PreferredSize() (int, int) {
 }
 
 // Paint implements Widget.
-func (l *Label) Paint(fb *gfx.Framebuffer) {
+func (l *Label) Paint(g gfx.Painter) {
 	x := l.bounds.X + 1
 	switch l.align {
 	case AlignCenter:
@@ -66,7 +72,7 @@ func (l *Label) Paint(fb *gfx.Framebuffer) {
 		x = l.bounds.MaxX() - gfx.TextWidth(l.text) - 1
 	}
 	y := l.bounds.Y + (l.bounds.H-gfx.TextHeight())/2 + 1
-	gfx.DrawTextClipped(fb, x, y, l.text, l.color, l.bounds)
+	g.DrawText(x, y, l.text, l.color)
 }
 
 // Button is a push button firing OnClick when activated by pointer or by
@@ -108,13 +114,13 @@ func (b *Button) PreferredSize() (int, int) {
 func (b *Button) Focusable() bool { return b.enabled }
 
 // Paint implements Widget.
-func (b *Button) Paint(fb *gfx.Framebuffer) {
+func (b *Button) Paint(g gfx.Painter) {
 	bg := gfx.Gray
 	if b.pressed {
 		bg = gfx.DarkGray
 	}
-	fb.Fill(b.bounds, bg)
-	fb.Bevel(b.bounds, b.pressed)
+	g.Fill(b.bounds, bg)
+	g.Bevel(b.bounds, b.pressed)
 	fg := gfx.Black
 	if !b.enabled {
 		fg = gfx.Gray
@@ -123,9 +129,9 @@ func (b *Button) Paint(fb *gfx.Framebuffer) {
 	}
 	x := gfx.CenterTextX(b.bounds.X, b.bounds.W, b.label)
 	y := b.bounds.Y + (b.bounds.H-gfx.TextHeight())/2 + 1
-	gfx.DrawTextClipped(fb, x, y, b.label, fg, b.bounds.Inset(2))
+	g.In(b.bounds.Inset(2)).DrawText(x, y, b.label, fg)
 	if b.focused {
-		fb.Border(b.bounds.Inset(2), gfx.Navy)
+		g.Border(b.bounds.Inset(2), gfx.Navy)
 	}
 }
 
@@ -220,24 +226,24 @@ func (t *Toggle) PreferredSize() (int, int) {
 func (t *Toggle) Focusable() bool { return t.enabled }
 
 // Paint implements Widget.
-func (t *Toggle) Paint(fb *gfx.Framebuffer) {
-	fb.Fill(t.bounds, gfx.LightGray)
+func (t *Toggle) Paint(g gfx.Painter) {
+	g.Fill(t.bounds, gfx.LightGray)
 	// Indicator lamp.
 	lamp := gfx.R(t.bounds.X+4, t.bounds.Y+(t.bounds.H-10)/2, 16, 10)
 	if t.on {
-		fb.Fill(lamp, gfx.Green)
+		g.Fill(lamp, gfx.Green)
 	} else {
-		fb.Fill(lamp, gfx.DarkGray)
+		g.Fill(lamp, gfx.DarkGray)
 	}
-	fb.Border(lamp, gfx.Black)
+	g.Border(lamp, gfx.Black)
 	fg := gfx.Black
 	if !t.enabled {
 		fg = gfx.Gray
 	}
 	y := t.bounds.Y + (t.bounds.H-gfx.TextHeight())/2 + 1
-	gfx.DrawTextClipped(fb, t.bounds.X+26, y, t.label, fg, t.bounds)
+	g.DrawText(t.bounds.X+26, y, t.label, fg)
 	if t.focused {
-		fb.Border(t.bounds.Inset(1), gfx.Navy)
+		g.Border(t.bounds.Inset(1), gfx.Navy)
 	}
 }
 

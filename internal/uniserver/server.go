@@ -45,6 +45,13 @@ type Server struct {
 	sessions map[*session]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	// pumpMu serializes render pumps; pumpBuf/pumpSess recycle the rect
+	// and session-snapshot storage so the damage→render→distribute path
+	// allocates nothing in steady state.
+	pumpMu   sync.Mutex
+	pumpBuf  []gfx.Rect
+	pumpSess []*session
 }
 
 // New creates a server for the given display. name is announced to
@@ -142,14 +149,20 @@ func (s *Server) Sessions() int {
 }
 
 // pump runs after the display accumulated new damage: render once, then
-// offer the fresh rectangles to every session.
+// offer the fresh rectangles to every session. Pumps are serialized so the
+// recycled rect buffer is never handed out twice concurrently.
 func (s *Server) pump() {
-	rects := s.display.Render()
+	s.pumpMu.Lock()
+	defer s.pumpMu.Unlock()
+	rects := s.display.RenderInto(s.pumpBuf)
+	s.pumpBuf = rects
 	if len(rects) == 0 {
 		return
 	}
+	// Snapshot the session set so s.mu is not held across the per-session
+	// coalescing work (connection setup/teardown stays unblocked).
 	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
+	sessions := s.pumpSess[:0]
 	for sess := range s.sessions {
 		sessions = append(sessions, sess)
 	}
@@ -157,6 +170,7 @@ func (s *Server) pump() {
 	for _, sess := range sessions {
 		sess.addDirty(rects)
 	}
+	s.pumpSess = sessions
 }
 
 // session is one proxy connection: per-client dirty tracking plus the
@@ -186,6 +200,7 @@ type session struct {
 
 	mu         sync.Mutex
 	dirty      *gfx.Damage       // damage with no outstanding request yet
+	dirtySpare []gfx.Rect        // recycled storage ping-ponged through dirty.TakeInto
 	pending    rfb.UpdateRequest // parked incremental request
 	hasPending bool
 	outbox     *gfx.Damage // requested damage awaiting the writer
@@ -271,23 +286,40 @@ func (c *session) writeLoop() {
 // flush encodes the coalesced rectangles (adaptive per-rect encoding on
 // pooled scratch) and transmits them as one FramebufferUpdate.
 func (c *session) flush(rects []gfx.Rect) {
-	urs := c.urs[:0]
-	for _, r := range rects {
-		urs = append(urs, rfb.UpdateRect{Rect: r, Encoding: rfb.EncAdaptive})
-	}
-	c.urs = urs
-	if len(urs) == 0 {
-		return
-	}
 	var (
 		prep *rfb.PreparedUpdate
 		err  error
 	)
 	start := time.Now()
 	c.srv.display.WithFramebuffer(func(fb *gfx.Framebuffer) {
+		// The session's geometry is fixed at handshake, but the display
+		// may have been resized since: clip to the live framebuffer so
+		// the encoder never walks outside it.
+		urs := c.urs[:0]
+		for _, r := range rects {
+			r = r.Intersect(fb.Bounds())
+			if r.Empty() {
+				continue
+			}
+			urs = append(urs, rfb.UpdateRect{Rect: r, Encoding: rfb.EncAdaptive})
+		}
+		c.urs = urs
+		if len(urs) == 0 {
+			return
+		}
 		prep, err = c.conn.PrepareUpdate(fb, urs)
 	})
 	mEncodeSeconds.ObserveDuration(time.Since(start))
+	if prep == nil && err == nil {
+		// Everything clipped away (display shrunk under the session):
+		// answer with an empty update to keep request/reply pairing.
+		if c.conn.SendEmptyUpdate() != nil {
+			mUpdateDrops.Inc()
+		} else {
+			mUpdatesSent.Inc()
+		}
+		return
+	}
 	if err != nil {
 		return // encoding failure: drop the update, connection stays up
 	}
@@ -330,30 +362,79 @@ func (c *session) UpdateRequest(req rfb.UpdateRequest) {
 	if !req.Incremental {
 		region := req.Region.Intersect(c.bounds)
 		c.mu.Lock()
-		c.dirty.Take() // full resend supersedes pending damage
+		// The full-region resend supersedes pending damage inside it;
+		// damage outside the requested region stays collectable by a
+		// later request instead of being dropped.
+		drained := c.drainDirtyLocked(region)
 		c.hasPending = false
 		if region.Empty() {
 			// Every non-incremental request gets exactly one reply, even
 			// when the region clips to nothing.
 			c.owedEmpty++
 			c.mu.Unlock()
+			c.recycleDirty(drained)
 			c.wake()
 			return
 		}
 		c.mu.Unlock()
+		c.recycleDirty(drained) // contents unused: region covers them
 		c.enqueue([]gfx.Rect{region})
 		return
 	}
 	c.mu.Lock()
-	if c.dirty.Empty() {
+	rects := c.drainDirtyLocked(req.Region)
+	if len(rects) == 0 {
+		// No damage inside the requested region (pending damage outside
+		// it, if any, went back to the dirty set): park the request.
 		c.pending = req
 		c.hasPending = true
 		c.mu.Unlock()
+		c.recycleDirty(rects)
 		return
 	}
-	rects := c.dirty.Take()
 	c.mu.Unlock()
-	c.enqueue(clipAll(rects, req.Region))
+	c.enqueue(rects)
+	c.recycleDirty(rects)
+}
+
+// drainDirtyLocked drains the dirty set for a request covering region:
+// parts inside region are returned clipped (in recycled storage), parts
+// outside are re-added to the dirty set so a later request still collects
+// them. c.mu must be held; hand the storage back via recycleDirty once the
+// rectangles are consumed.
+func (c *session) drainDirtyLocked(region gfx.Rect) []gfx.Rect {
+	taken := c.takeDirtyLocked()
+	out := taken[:0]
+	var tmp [4]gfx.Rect
+	for _, r := range taken {
+		in := r.Intersect(region)
+		if in != r { // some of r lies outside the requested region
+			for _, rest := range r.SubtractInto(tmp[:0], region) {
+				c.dirty.Add(rest)
+			}
+		}
+		if !in.Empty() {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// takeDirtyLocked drains the dirty set into recycled storage (c.mu held).
+// Once the returned rectangles are consumed, hand the storage back with
+// recycleDirty so the steady-state request path stops allocating.
+func (c *session) takeDirtyLocked() []gfx.Rect {
+	spare := c.dirtySpare
+	c.dirtySpare = nil
+	return c.dirty.TakeInto(spare)
+}
+
+func (c *session) recycleDirty(rects []gfx.Rect) {
+	c.mu.Lock()
+	if c.dirtySpare == nil {
+		c.dirtySpare = rects
+	}
+	c.mu.Unlock()
 }
 
 // addDirty accumulates fresh damage and satisfies a parked request.
@@ -377,20 +458,16 @@ func (c *session) addDirty(rects []gfx.Rect) {
 		}
 		return
 	}
-	req := c.pending
+	out := c.drainDirtyLocked(c.pending.Region)
+	if len(out) == 0 {
+		// The new damage lies entirely outside the parked request's
+		// region: it stays in the dirty set, the request stays parked.
+		c.mu.Unlock()
+		c.recycleDirty(out)
+		return
+	}
 	c.hasPending = false
-	out := clipAll(c.dirty.Take(), req.Region)
 	c.mu.Unlock()
 	c.enqueue(out)
-}
-
-func clipAll(rects []gfx.Rect, clip gfx.Rect) []gfx.Rect {
-	out := rects[:0]
-	for _, r := range rects {
-		r = r.Intersect(clip)
-		if !r.Empty() {
-			out = append(out, r)
-		}
-	}
-	return out
+	c.recycleDirty(out)
 }

@@ -360,3 +360,131 @@ func TestEmptyRegionRequestGetsEmptyReply(t *testing.T) {
 		t.Errorf("updates = %d", client.UpdatesReceived())
 	}
 }
+
+// TestPartialRegionRetainsOutsideDamage: damage outside a request's region
+// must survive for a later request instead of being dropped — a
+// spec-compliant client that polls sub-regions must eventually see every
+// damaged pixel.
+func TestPartialRegionRetainsOutsideDamage(t *testing.T) {
+	display, _, client, rec := wire(t)
+	top := toolkit.NewLabel("top strip")
+	bottom := toolkit.NewLabel("bottom strip")
+	root := toolkit.NewPanel(toolkit.Fixed{})
+	root.Add(top, bottom)
+	top.SetBounds(gfx.R(10, 10, 80, 12))
+	bottom.SetBounds(gfx.R(10, 100, 80, 12))
+	display.SetRoot(root)
+
+	client.RequestUpdate(false, gfx.R(0, 0, 160, 120))
+	waitFor(t, "initial full update", func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return rec.updates >= 1
+	})
+
+	// Damage both strips.
+	display.Update(func() {
+		top.SetText("top CHANGED")
+		bottom.SetText("bottom CHANGED")
+	})
+
+	// Ask only for the top half: the reply covers the top strip, the
+	// bottom strip's damage must go back to the dirty set.
+	client.RequestUpdate(true, gfx.R(0, 0, 160, 60))
+	waitFor(t, "top-half update", func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return rec.updates >= 2
+	})
+
+	// A full-screen incremental request must now deliver the bottom strip
+	// (the old path dropped it, parking this request forever).
+	client.RequestUpdate(true, gfx.R(0, 0, 160, 120))
+	waitFor(t, "bottom strip update", func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return rec.updates >= 3
+	})
+	if !client.Snapshot(gfx.R(0, 0, 160, 120)).Equal(display.Snapshot(gfx.R(0, 0, 160, 120))) {
+		t.Error("shadow diverged: out-of-region damage was lost")
+	}
+}
+
+// TestDamageOutsideParkedRegionStaysParked: new damage entirely outside a
+// parked incremental request's region must not unpark it with an empty
+// reply, and must still be collectable by a matching request.
+func TestDamageOutsideParkedRegionStaysParked(t *testing.T) {
+	display, _, client, rec := wire(t)
+	bottom := toolkit.NewLabel("bottom")
+	root := toolkit.NewPanel(toolkit.Fixed{})
+	root.Add(bottom)
+	bottom.SetBounds(gfx.R(10, 100, 80, 12))
+	display.SetRoot(root)
+
+	client.RequestUpdate(false, gfx.R(0, 0, 160, 120))
+	waitFor(t, "initial", func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return rec.updates >= 1
+	})
+
+	// Park a request for the (clean) top half, then damage the bottom.
+	client.RequestUpdate(true, gfx.R(0, 0, 160, 50))
+	time.Sleep(10 * time.Millisecond)
+	display.Update(func() { bottom.SetText("bottom CHANGED") })
+	time.Sleep(20 * time.Millisecond)
+	rec.mu.Lock()
+	got := rec.updates
+	rec.mu.Unlock()
+	if got != 1 {
+		t.Fatalf("out-of-region damage answered a parked request: %d updates", got)
+	}
+
+	// A full request collects the bottom damage; the top-half request
+	// stays parked (one reply, not two).
+	client.RequestUpdate(true, gfx.R(0, 0, 160, 120))
+	waitFor(t, "bottom damage", func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return rec.updates >= 2
+	})
+}
+
+// TestResizeUnderLiveSession: shrinking the display while a proxy is
+// connected must not crash the encoder — updates are clipped to the live
+// framebuffer, and every request still gets a reply.
+func TestResizeUnderLiveSession(t *testing.T) {
+	display, _, client, rec := wire(t)
+	root := toolkit.NewPanel(toolkit.VBox{Gap: 2, Padding: 2})
+	root.Add(toolkit.NewLabel("before resize"))
+	display.SetRoot(root)
+
+	client.RequestUpdate(false, gfx.R(0, 0, 160, 120))
+	waitFor(t, "pre-resize update", func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return rec.updates >= 1
+	})
+
+	// Shrink under the session; the client still requests its handshake
+	// geometry.
+	display.Resize(80, 60)
+	client.RequestUpdate(false, gfx.R(0, 0, 160, 120))
+	waitFor(t, "post-shrink update", func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return rec.updates >= 2
+	})
+
+	// Grow again and make sure the pipeline still answers.
+	display.Resize(160, 120)
+	client.RequestUpdate(false, gfx.R(0, 0, 160, 120))
+	waitFor(t, "post-grow update", func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return rec.updates >= 3
+	})
+	if !client.Snapshot(gfx.R(0, 0, 160, 120)).Equal(display.Snapshot(gfx.R(0, 0, 160, 120))) {
+		t.Error("shadow diverged after resize cycle")
+	}
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uniint/internal/toolkit"
+)
+
+// UI churn: the widget-level stress workload for the damage-clipped
+// renderer. Where ScreenChurn mutates framebuffer pixels directly, UIChurn
+// flips real toolkit widgets — toggles, labels, sliders, progress bars —
+// across many homes' displays, driving the full widget → damage → clipped
+// repaint → encode pipeline with the damage shape a hub full of busy
+// control panels produces. The step stream deliberately includes no-op
+// echoes (an appliance re-reporting an unchanged state), which a correct
+// pipeline must swallow without posting damage.
+
+// UIScene is one home's control-panel widget tree plus handles to its
+// mutable widgets, in a fixed round-robin order (toggle, label, slider,
+// progress, toggle, …).
+type UIScene struct {
+	Root      *toolkit.Panel
+	Toggles   []*toolkit.Toggle
+	Labels    []*toolkit.Label
+	Sliders   []*toolkit.Slider
+	Progress  []*toolkit.ProgressBar
+	NumFlappy int // total mutable widgets
+}
+
+// NewUIScene builds a deterministic control-panel tree with n mutable
+// widgets grouped into titled appliance panels (plus one static label per
+// panel, as real composed GUIs have). Attach it with Display.SetRoot.
+func NewUIScene(n int) *UIScene {
+	if n < 1 {
+		n = 1
+	}
+	s := &UIScene{Root: toolkit.NewPanel(toolkit.Grid{Cols: 2, Gap: 4, Padding: 6})}
+	var panel *toolkit.Panel
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			panel = toolkit.NewPanel(toolkit.VBox{Gap: 2, Padding: 4})
+			panel.SetTitle(fmt.Sprintf("Appliance %d", i/4))
+			panel.Add(toolkit.NewLabel("status: ready"))
+			s.Root.Add(panel)
+		}
+		switch i % 4 {
+		case 0:
+			w := toolkit.NewToggle(fmt.Sprintf("Power %d", i), false, nil)
+			s.Toggles = append(s.Toggles, w)
+			panel.Add(w)
+		case 1:
+			w := toolkit.NewLabel(fmt.Sprintf("ticker %d: ----", i))
+			s.Labels = append(s.Labels, w)
+			panel.Add(w)
+		case 2:
+			w := toolkit.NewSlider(fmt.Sprintf("Level %d", i), 0, 100, 50, nil)
+			s.Sliders = append(s.Sliders, w)
+			panel.Add(w)
+		default:
+			w := toolkit.NewProgressBar(0)
+			s.Progress = append(s.Progress, w)
+			panel.Add(w)
+		}
+	}
+	s.NumFlappy = n
+	return s
+}
+
+// UIStepKind selects which widget family a step mutates.
+type UIStepKind int
+
+// Step kinds.
+const (
+	UIToggle UIStepKind = iota
+	UILabel
+	UISlider
+	UIProgress
+)
+
+// UIStep is one scripted widget mutation in one home.
+type UIStep struct {
+	Home  int        // home index in [0, Homes)
+	Index int        // widget index within the kind's slice (pre-reduced)
+	Kind  UIStepKind // widget family
+	On    bool       // toggle target state
+	Text  string     // label text
+	Value int        // slider/progress value
+	// Echo marks a no-op repeat of the previous state for this widget —
+	// the appliance state echo a correct pipeline swallows damage-free.
+	Echo bool
+}
+
+// UIChurn generates a deterministic stream of widget flips spread across M
+// homes × N widgets. Roughly one step in eight is a no-op echo.
+type UIChurn struct {
+	Homes   int
+	Widgets int // mutable widgets per home
+
+	rng  *rand.Rand
+	step int
+	last map[[2]int]UIStep // last step per (home, widget slot)
+}
+
+// NewUIChurn builds a churn stream over homes × widgetsPerHome widgets,
+// deterministic under seed.
+func NewUIChurn(homes, widgetsPerHome int, seed int64) *UIChurn {
+	if homes < 1 {
+		homes = 1
+	}
+	if widgetsPerHome < 1 {
+		widgetsPerHome = 1
+	}
+	return &UIChurn{
+		Homes:   homes,
+		Widgets: widgetsPerHome,
+		rng:     rand.New(rand.NewSource(seed)),
+		last:    make(map[[2]int]UIStep),
+	}
+}
+
+// Next returns the next scripted mutation.
+func (c *UIChurn) Next() UIStep {
+	home := c.rng.Intn(c.Homes)
+	slot := c.rng.Intn(c.Widgets)
+	key := [2]int{home, slot}
+	if prev, ok := c.last[key]; ok && c.rng.Intn(8) == 0 {
+		prev.Echo = true
+		return prev // re-deliver the unchanged state
+	}
+	v := c.step
+	c.step++
+	st := UIStep{
+		Home:  home,
+		Index: slot / 4,
+		Kind:  UIStepKind(slot % 4),
+		On:    v%2 == 0,
+		Value: v % 101,
+	}
+	// A non-echo step must actually change the widget, or the benchmarks
+	// built on this stream silently measure no-ops: flip relative to the
+	// slot's last applied state rather than the global step parity.
+	if prev, ok := c.last[key]; ok {
+		st.On = !prev.On
+		if st.Value == prev.Value {
+			st.Value = (st.Value + 1) % 101
+		}
+	} else {
+		// First touch of this slot: diverge from NewUIScene's initial
+		// widget state (toggles off, sliders at 50, progress at 0).
+		st.On = true
+		switch st.Kind {
+		case UISlider:
+			if st.Value == 50 {
+				st.Value = 51
+			}
+		case UIProgress:
+			if st.Value == 0 {
+				st.Value = 1
+			}
+		}
+	}
+	st.Text = fmt.Sprintf("ticker %04d", 97*st.Value+home*7+slot)
+	c.last[key] = st
+	return st
+}
+
+// Apply mutates the scene's widget named by st. Callers own the display
+// lock (wrap in Display.Update). It returns false when the scene has no
+// widget in that slot (smaller scene than the stream was built for).
+func (c *UIChurn) Apply(s *UIScene, st UIStep) bool {
+	switch st.Kind {
+	case UIToggle:
+		if st.Index >= len(s.Toggles) {
+			return false
+		}
+		s.Toggles[st.Index].SetOn(st.On)
+	case UILabel:
+		if st.Index >= len(s.Labels) {
+			return false
+		}
+		s.Labels[st.Index].SetText(st.Text)
+	case UISlider:
+		if st.Index >= len(s.Sliders) {
+			return false
+		}
+		s.Sliders[st.Index].SetValue(st.Value)
+	default:
+		if st.Index >= len(s.Progress) {
+			return false
+		}
+		s.Progress[st.Index].SetValue(st.Value)
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"testing"
+
+	"uniint/internal/toolkit"
+)
+
+func TestUISceneBuildsRequestedWidgets(t *testing.T) {
+	s := NewUIScene(16)
+	if got := len(s.Toggles) + len(s.Labels) + len(s.Sliders) + len(s.Progress); got != 16 {
+		t.Fatalf("mutable widgets = %d, want 16", got)
+	}
+	if s.NumFlappy != 16 {
+		t.Fatalf("NumFlappy = %d", s.NumFlappy)
+	}
+	d := toolkit.NewDisplay(320, 240)
+	d.SetRoot(s.Root)
+	if rects := d.Render(); len(rects) == 0 {
+		t.Fatal("scene did not damage the display")
+	}
+	// Minimum scene clamps to one widget.
+	if tiny := NewUIScene(0); tiny.NumFlappy != 1 {
+		t.Fatalf("clamped scene = %d widgets", tiny.NumFlappy)
+	}
+}
+
+func TestUIChurnDeterministicAndInRange(t *testing.T) {
+	a := NewUIChurn(4, 16, 11)
+	b := NewUIChurn(4, 16, 11)
+	for i := 0; i < 500; i++ {
+		sa, sb := a.Next(), b.Next()
+		if sa != sb {
+			t.Fatalf("step %d: streams diverge: %+v vs %+v", i, sa, sb)
+		}
+		if sa.Home < 0 || sa.Home >= 4 {
+			t.Fatalf("home out of range: %+v", sa)
+		}
+		if sa.Value < 0 || sa.Value > 100 {
+			t.Fatalf("value out of range: %+v", sa)
+		}
+	}
+}
+
+func TestUIChurnEchoesAreNoops(t *testing.T) {
+	scenes := make([]*UIScene, 3)
+	displays := make([]*toolkit.Display, 3)
+	for i := range scenes {
+		scenes[i] = NewUIScene(16)
+		displays[i] = toolkit.NewDisplay(320, 240)
+		displays[i].SetRoot(scenes[i].Root)
+		displays[i].Render()
+	}
+	c := NewUIChurn(3, 16, 5)
+	echoes, applied := 0, 0
+	for i := 0; i < 800; i++ {
+		st := c.Next()
+		d := displays[st.Home]
+		d.Render() // drain before, so we can attribute damage to this step
+		d.Update(func() {
+			if !c.Apply(scenes[st.Home], st) {
+				t.Fatalf("step %d: no widget for %+v", i, st)
+			}
+		})
+		if st.Echo {
+			echoes++
+			if d.Dirty() {
+				t.Fatalf("echo step %d (%+v) posted damage", i, st)
+			}
+		} else {
+			applied++
+		}
+	}
+	if echoes == 0 {
+		t.Fatal("stream produced no echo steps in 800 draws")
+	}
+	if applied == 0 {
+		t.Fatal("stream produced no real steps")
+	}
+}
+
+func TestUIChurnApplyOutOfRange(t *testing.T) {
+	s := NewUIScene(4) // one widget of each kind
+	c := NewUIChurn(1, 32, 1)
+	// A stream built for a larger scene reports false rather than panicking.
+	miss := false
+	for i := 0; i < 200; i++ {
+		st := c.Next()
+		if !c.Apply(s, st) {
+			miss = true
+		}
+	}
+	if !miss {
+		t.Fatal("expected some out-of-range slots against the small scene")
+	}
+}
+
+// TestUIChurnNonEchoStepsAlwaysChangeState: a non-echo step must mutate
+// its widget — otherwise benchmarks driving the stream measure no-ops.
+func TestUIChurnNonEchoStepsAlwaysChangeState(t *testing.T) {
+	scene := NewUIScene(16)
+	d := toolkit.NewDisplay(320, 240)
+	d.SetRoot(scene.Root)
+	d.Render()
+
+	c := NewUIChurn(1, 16, 3)
+	for i := 0; i < 1000; i++ {
+		st := c.Next()
+		if st.Echo {
+			continue
+		}
+		d.Render() // drain, so damage is attributable to this step
+		d.Update(func() {
+			if !c.Apply(scene, st) {
+				t.Fatalf("step %d: no widget for %+v", i, st)
+			}
+		})
+		if !d.Dirty() {
+			t.Fatalf("non-echo step %d (%+v) was a no-op", i, st)
+		}
+	}
+}
