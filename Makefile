@@ -17,8 +17,10 @@ BENCHTIME  ?= 100x
 # bench measures a ~0.3ms window, where a single scheduler preemption on a
 # shared runner blows through NS_TOL. 10000x widens the window ~100x and
 # averages the noise out; these benches are all fast, so the extra wall
-# time is small.
-GATE_BENCH_MICRO ?= BenchmarkRenderWidget|BenchmarkRenderText|BenchmarkE2bRender
+# time is small. The Input* set pins the batched/coalesced input pipeline
+# at zero allocations per event end to end (wire write, read loop, queue,
+# dispatch).
+GATE_BENCH_MICRO ?= BenchmarkRenderWidget|BenchmarkRenderText|BenchmarkE2bRender|BenchmarkInputBatch|BenchmarkInputCoalesce|BenchmarkInputFlood|BenchmarkE2bInput
 BENCHTIME_MICRO  ?= 10000x
 # ns/op headroom: generous because wall time shifts with hardware, still
 # far under the 2x-regression class the gate exists to catch. allocs/op is

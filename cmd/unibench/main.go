@@ -1,4 +1,4 @@
-// Command unibench runs the experiment suite E1–E10 (DESIGN.md §4) in
+// Command unibench runs the experiment suite E1–E12 (DESIGN.md §4) in
 // process and prints one table per experiment. EXPERIMENTS.md records a
 // reference run. Use -quick for a fast smoke pass.
 package main
@@ -122,6 +122,9 @@ func run(reps int) error {
 	if err := e11(reps); err != nil {
 		return err
 	}
+	if err := e12(reps); err != nil {
+		return err
+	}
 	printMetrics()
 	return nil
 }
@@ -229,6 +232,128 @@ func e11(reps int) error {
 		home.Close()
 	}
 	return nil
+}
+
+// demandHandler keeps the demand-driven update loop rolling for e12.
+type demandHandler struct {
+	client *rfb.ClientConn
+	region gfx.Rect
+}
+
+func (h demandHandler) Updated([]gfx.Rect) { _ = h.client.RequestUpdate(true, h.region) }
+func (h demandHandler) Bell()              {}
+func (h demandHandler) CutText(string)     {}
+
+// e12 measures the input pipeline: a pointer-move flood dragging a
+// slider whose appliance reaction is slow (50µs per change). The flood
+// is written in 32-event batches; the server queue coalesces it under
+// backpressure, so dispatches and updates land at a small fraction of
+// the event rate. Latency numbers come from the input_* histograms.
+func e12(reps int) error {
+	fmt.Println("\n== E12: input pipeline (pointer flood -> coalesced dispatch) ==")
+	display := toolkit.NewDisplay(320, 240)
+	slider := toolkit.NewSlider("drag", 0, 99, 50, func(int) {
+		time.Sleep(50 * time.Microsecond) // slow appliance reaction
+	})
+	root := toolkit.NewPanel(toolkit.VBox{Gap: 4, Padding: 6})
+	root.Add(slider)
+	display.SetRoot(root)
+	display.Render()
+	srv := uniserver.New(display, "input storm")
+	defer srv.Close()
+	sc, cc := net.Pipe()
+	go srv.HandleConn(sc)
+	client, err := rfb.Dial(cc)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	full := gfx.R(0, 0, 320, 240)
+	go client.Run(demandHandler{client: client, region: full})
+	if err := client.RequestUpdate(false, full); err != nil {
+		return err
+	}
+
+	reg := metrics.Default()
+	dispatched := reg.Counter("input_dispatched_total")
+	coalesced := reg.Counter("input_coalesced_total")
+	updates := reg.Counter("server_updates_sent_total")
+	d0, c0, u0 := dispatched.Value(), coalesced.Value(), updates.Value()
+	// The latency histograms are process-global and already hold samples
+	// from E1/E11; snapshot them now so E12 reports only its own delta.
+	dh0 := reg.Histogram("input_dispatch_seconds", metrics.LatencyBuckets()).Snapshot()
+	uh0 := reg.Histogram("input_to_update_seconds", metrics.LatencyBuckets()).Snapshot()
+
+	tb := slider.Bounds()
+	cy := uint16(tb.Y + tb.H/2)
+	if err := client.WriteEvents([]rfb.InputEvent{{IsPointer: true, Pointer: rfb.PointerEvent{
+		Buttons: 1, X: uint16(tb.X + 8), Y: cy}}}); err != nil {
+		return err
+	}
+	events := reps * 200
+	batch := make([]rfb.InputEvent, 0, 32)
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		batch = append(batch, rfb.InputEvent{IsPointer: true, Pointer: rfb.PointerEvent{
+			Buttons: 1, X: uint16(tb.X + 8 + i%(tb.W-16)), Y: cy}})
+		if len(batch) == cap(batch) {
+			if err := client.WriteEvents(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := client.WriteEvents(batch); err != nil {
+		return err
+	}
+	sent := int64(events + 1)
+	for dispatched.Value()-d0+coalesced.Value()-c0 < sent {
+		time.Sleep(50 * time.Microsecond)
+	}
+	wall := time.Since(start)
+	perEvent := wall / time.Duration(events)
+	// The final dispatch's FramebufferUpdate ships asynchronously on the
+	// writer; give it a moment so the update-side numbers include it.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for updates.Value() == u0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	n := float64(events)
+	fmt.Printf("%-34s %12d\n", "events flooded", events)
+	fmt.Printf("%-34s %12v\n", "per event (wall, incl. drain)", perEvent.Round(10*time.Nanosecond))
+	fmt.Printf("%-34s %12.4f\n", "dispatched/event", float64(dispatched.Value()-d0)/n)
+	fmt.Printf("%-34s %12.4f\n", "coalesced/event", float64(coalesced.Value()-c0)/n)
+	fmt.Printf("%-34s %12.4f\n", "updates/event", float64(updates.Value()-u0)/n)
+	record("unibench/e12/event", perEvent)
+
+	dh := histDelta(dh0, reg.Histogram("input_dispatch_seconds", metrics.LatencyBuckets()).Snapshot())
+	uh := histDelta(uh0, reg.Histogram("input_to_update_seconds", metrics.LatencyBuckets()).Snapshot())
+	fmt.Printf("%-34s %12v %12v\n", "enqueue->dispatch p50/p95",
+		secs(dh.Quantile(0.50)), secs(dh.Quantile(0.95)))
+	fmt.Printf("%-34s %12v %12v\n", "input->update p50/p95",
+		secs(uh.Quantile(0.50)), secs(uh.Quantile(0.95)))
+	record("unibench/e12/dispatch-p50", secs(dh.Quantile(0.50)))
+	record("unibench/e12/dispatch-p95", secs(dh.Quantile(0.95)))
+	record("unibench/e12/to-update-p50", secs(uh.Quantile(0.50)))
+	record("unibench/e12/to-update-p95", secs(uh.Quantile(0.95)))
+	return nil
+}
+
+// histDelta returns the samples snapshot `to` gained over `from` (same
+// immutable bounds), so an experiment can report quantiles over only the
+// observations it produced.
+func histDelta(from, to metrics.HistogramSnapshot) metrics.HistogramSnapshot {
+	out := metrics.HistogramSnapshot{
+		Bounds: to.Bounds,
+		Counts: make([]uint64, len(to.Counts)),
+		Sum:    to.Sum - from.Sum,
+	}
+	for i := range to.Counts {
+		out.Counts[i] = to.Counts[i] - from.Counts[i]
+		out.Count += out.Counts[i]
+	}
+	return out
 }
 
 // lampSession assembles the standard measurement stack.

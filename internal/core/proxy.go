@@ -22,6 +22,16 @@ var (
 	mUniSent        = metrics.Default().Counter("proxy_universal_events_total")
 	mFrames         = metrics.Default().Counter("proxy_frames_presented_total")
 	mPresentSeconds = metrics.Default().Histogram("proxy_present_seconds", metrics.LatencyBuckets())
+
+	// Input-pipeline instruments (proxy half). Batches are transport
+	// writes: input_batched_events_total / input_batches_total is the
+	// events-per-syscall win, input_coalesced_proxy_total the moves that
+	// never even reached the wire.
+	mInputBatches       = metrics.Default().Counter("input_batches_total")
+	mInputBatchedEvents = metrics.Default().Counter("input_batched_events_total")
+	mInputProxyCoalesce = metrics.Default().Counter("input_coalesced_proxy_total")
+	mInputForwardErrors = metrics.Default().Counter("input_forward_errors_total")
+	mInputPumpStops     = metrics.Default().Counter("input_pump_stops_total")
 )
 
 // Errors returned by proxy device management.
@@ -46,6 +56,19 @@ type Proxy struct {
 	activeOut string
 	mirrors   map[string]bool // extra output devices fed alongside the primary
 	closed    bool
+
+	// activeInput mirrors activeIn as a binding pointer, updated under mu
+	// but readable without it: the event pumps take an atomic snapshot per
+	// raw event, so a pointer flood on a non-selected device never
+	// contends SelectInput/AttachOutput on the proxy mutex.
+	activeInput atomic.Pointer[inputBinding]
+
+	// inMu serializes translation+forwarding of input events and doubles
+	// as the switch barrier (the presentMu pattern, input side): after
+	// SelectInput or DetachInput returns, no event from a just-deselected
+	// or detached device is still in flight. It also guards flusher.
+	inMu    sync.Mutex
+	flusher inputFlusher
 
 	running atomic.Bool
 	rearm   chan struct{}
@@ -78,13 +101,16 @@ type outputBinding struct {
 }
 
 type proxyStats struct {
-	rawEvents    atomic.Int64
-	droppedRaw   atomic.Int64
-	uniSent      atomic.Int64
-	frames       atomic.Int64
-	inSwitches   atomic.Int64
-	outSwitches  atomic.Int64
-	convertFails atomic.Int64
+	rawEvents     atomic.Int64
+	droppedRaw    atomic.Int64
+	uniSent       atomic.Int64
+	coalesced     atomic.Int64
+	batches       atomic.Int64
+	forwardErrors atomic.Int64
+	frames        atomic.Int64
+	inSwitches    atomic.Int64
+	outSwitches   atomic.Int64
+	convertFails  atomic.Int64
 }
 
 // Stats is a snapshot of proxy counters.
@@ -92,6 +118,9 @@ type Stats struct {
 	RawEvents       int64 // device events received (all attached devices)
 	DroppedRaw      int64 // events from non-selected devices, discarded
 	UniversalSent   int64 // universal events forwarded to the server
+	EventsCoalesced int64 // pointer moves absorbed before reaching the wire
+	BatchesFlushed  int64 // batched transport writes carrying the above
+	ForwardErrors   int64 // events lost to connection write failures
 	FramesPresented int64 // converted frames delivered to output devices
 	InputSwitches   int64
 	OutputSwitches  int64
@@ -190,6 +219,9 @@ func (p *Proxy) Stats() Stats {
 		RawEvents:       p.stats.rawEvents.Load(),
 		DroppedRaw:      p.stats.droppedRaw.Load(),
 		UniversalSent:   p.stats.uniSent.Load(),
+		EventsCoalesced: p.stats.coalesced.Load(),
+		BatchesFlushed:  p.stats.batches.Load(),
+		ForwardErrors:   p.stats.forwardErrors.Load(),
 		FramesPresented: p.stats.frames.Load(),
 		InputSwitches:   p.stats.inSwitches.Load(),
 		OutputSwitches:  p.stats.outSwitches.Load(),
@@ -231,7 +263,9 @@ func (p *Proxy) AttachInput(d InputDevice) error {
 }
 
 // DetachInput stops and removes an input device. Detaching the selected
-// device leaves no input selected.
+// device leaves no input selected. When DetachInput returns, no event
+// from the device is still being translated or forwarded: the detach
+// barrier waits out in-flight work (the RemoveMirror pattern).
 func (p *Proxy) DetachInput(id string) error {
 	p.mu.Lock()
 	b, ok := p.inputs[id]
@@ -242,10 +276,20 @@ func (p *Proxy) DetachInput(id string) error {
 	delete(p.inputs, id)
 	if p.activeIn == id {
 		p.activeIn = ""
+		p.activeInput.Store(nil)
 	}
 	p.mu.Unlock()
 	close(b.stop)
+	p.inputBarrier()
 	return nil
+}
+
+// inputBarrier waits out any in-flight translation/forward so selection
+// and detachment changes are strict: once the mutating call returns, no
+// event admitted under the old selection is still on its way upstream.
+func (p *Proxy) inputBarrier() {
+	p.inMu.Lock() // barrier: drain any in-flight translation/forward
+	p.inMu.Unlock()
 }
 
 // AttachOutput registers an output device and receives its plug-in module.
@@ -305,16 +349,26 @@ func (p *Proxy) OutputIDs() []string {
 // --- selection and switching (C1, C2) --------------------------------------
 
 // SelectInput makes the named device the session's input. Events from all
-// other input devices are discarded while it is selected.
+// other input devices are discarded while it is selected. The switch is
+// strict: when SelectInput returns, no event from the previously selected
+// device is still being translated or forwarded (the selection barrier
+// covers in-flight work, mirroring RemoveMirror's presentMu pattern).
 func (p *Proxy) SelectInput(id string) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.inputs[id]; !ok {
+	b, ok := p.inputs[id]
+	if !ok {
+		p.mu.Unlock()
 		return fmt.Errorf("%w: input %s", ErrUnknownDevice, id)
 	}
-	if p.activeIn != id {
+	changed := p.activeIn != id
+	if changed {
 		p.activeIn = id
+		p.activeInput.Store(b)
 		p.stats.inSwitches.Add(1)
+	}
+	p.mu.Unlock()
+	if changed {
+		p.inputBarrier()
 	}
 	return nil
 }
@@ -442,7 +496,15 @@ func (p *Proxy) ActiveOutput() string {
 // pumpInput drains one device's event stream for the lifetime of its
 // attachment. Events are translated and forwarded only while the device is
 // selected; otherwise they are counted and dropped, keeping the device's
-// channel from backing up across switches.
+// channel from backing up across switches. The selection check is an
+// atomic snapshot — a pointer flood on a non-selected device takes no
+// lock at all.
+//
+// Forwarding is batched: an event plus whatever burst queued up behind it
+// is translated into one coalescing batch and shipped with one transport
+// write. A forward failure is fatal for the connection (the buffered
+// writer sticks its error), so the pump counts the loss and stops instead
+// of silently discarding every subsequent event.
 func (p *Proxy) pumpInput(b *inputBinding) {
 	defer p.wg.Done()
 	for {
@@ -451,15 +513,12 @@ func (p *Proxy) pumpInput(b *inputBinding) {
 			if !ok {
 				return
 			}
-			p.stats.rawEvents.Add(1)
-			mRawEvents.Inc()
-			if p.ActiveInput() != b.dev.ID() {
-				p.stats.droppedRaw.Add(1)
-				mDroppedRaw.Inc()
-				continue
-			}
-			for _, ue := range b.plugin.Translate(ev) {
-				p.forward(ue)
+			cont, fatal := p.pumpConsume(b, ev)
+			if !cont {
+				if fatal {
+					mInputPumpStops.Inc()
+				}
+				return
 			}
 		case <-b.stop:
 			return
@@ -467,44 +526,145 @@ func (p *Proxy) pumpInput(b *inputBinding) {
 	}
 }
 
+// pumpConsume handles one raw event plus any burst already queued behind
+// it, forwarding the whole run as one batched flush. cont reports whether
+// the pump should keep running; fatal marks a connection write failure
+// (as opposed to orderly device shutdown).
+func (p *Proxy) pumpConsume(b *inputBinding, ev RawEvent) (cont, fatal bool) {
+	p.stats.rawEvents.Add(1)
+	mRawEvents.Inc()
+	if p.activeInput.Load() != b {
+		p.stats.droppedRaw.Add(1)
+		mDroppedRaw.Inc()
+		return true, false
+	}
+	p.inMu.Lock()
+	defer p.inMu.Unlock()
+	// Re-check under the barrier mutex: a switch that completed between
+	// the atomic snapshot and the lock has already returned to its caller,
+	// so this event must no longer be forwarded.
+	if p.activeInput.Load() != b {
+		p.stats.droppedRaw.Add(1)
+		mDroppedRaw.Inc()
+		return true, false
+	}
+	for _, ue := range b.plugin.Translate(ev) {
+		p.flusher.add(ue)
+	}
+	// Burst batching: fold events that already arrived behind this one
+	// into the same batch, so a pointer flood becomes one write. While
+	// inMu is held a concurrent switch cannot complete, so the events
+	// are still legitimately from the selected device.
+	alive := true
+	for alive && !p.flusher.full() {
+		select {
+		case next, ok := <-b.dev.Events():
+			if !ok {
+				alive = false
+				break
+			}
+			p.stats.rawEvents.Add(1)
+			mRawEvents.Inc()
+			for _, ue := range b.plugin.Translate(next) {
+				p.flusher.add(ue)
+			}
+		case <-b.stop:
+			alive = false
+		default:
+			if err := p.flushLocked(); err != nil {
+				return false, true
+			}
+			return alive, false
+		}
+	}
+	if err := p.flushLocked(); err != nil {
+		return false, true
+	}
+	return alive, false
+}
+
+// flushLocked ships the pending batch (inMu held) and settles the stats:
+// forwarded events count as sent, events lost to a write error count as
+// forward errors — never silently dropped.
+func (p *Proxy) flushLocked() error {
+	sent, coalesced, err := p.flusher.flush(p.client)
+	if coalesced > 0 {
+		p.stats.coalesced.Add(coalesced)
+		mInputProxyCoalesce.Add(coalesced)
+	}
+	if sent == 0 {
+		return err
+	}
+	if err != nil {
+		p.stats.forwardErrors.Add(sent)
+		mInputForwardErrors.Add(sent)
+		return err
+	}
+	p.stats.uniSent.Add(sent)
+	mUniSent.Add(sent)
+	p.stats.batches.Add(1)
+	mInputBatches.Inc()
+	mInputBatchedEvents.Add(sent)
+	return nil
+}
+
 // Inject translates and forwards one event as if it came from the named
 // attached device; used by scripted scenarios and benchmarks to bypass the
 // device channel (the pump path is exercised by the device simulators).
 func (p *Proxy) Inject(deviceID string, ev RawEvent) error {
+	return p.inject(deviceID, 1, func(b *inputBinding) {
+		for _, ue := range b.plugin.Translate(ev) {
+			p.flusher.add(ue)
+		}
+	})
+}
+
+// InjectBatch translates and forwards a burst of events from the named
+// attached device as one coalescing batch: consecutive pointer moves
+// collapse to their final position and the whole burst ships with a
+// single transport write.
+func (p *Proxy) InjectBatch(deviceID string, evs []RawEvent) error {
+	return p.inject(deviceID, int64(len(evs)), func(b *inputBinding) {
+		for _, ev := range evs {
+			for _, ue := range b.plugin.Translate(ev) {
+				p.flusher.add(ue)
+			}
+		}
+	})
+}
+
+// inject resolves the device, applies the selection barrier and runs
+// translate (which feeds the flusher) under it, then flushes once. n is
+// the raw-event count the call carries, so drop accounting matches the
+// selected path's per-event counting.
+func (p *Proxy) inject(deviceID string, n int64, translate func(b *inputBinding)) error {
 	p.mu.Lock()
 	b, ok := p.inputs[deviceID]
-	active := p.activeIn
 	p.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: input %s", ErrUnknownDevice, deviceID)
 	}
-	p.stats.rawEvents.Add(1)
-	mRawEvents.Inc()
-	if active != deviceID {
-		p.stats.droppedRaw.Add(1)
-		mDroppedRaw.Inc()
+	if n <= 0 {
 		return nil
 	}
-	for _, ue := range b.plugin.Translate(ev) {
-		if err := p.forward(ue); err != nil {
-			return err
-		}
+	if p.activeInput.Load() != b {
+		p.stats.rawEvents.Add(n)
+		mRawEvents.Add(n)
+		p.stats.droppedRaw.Add(n)
+		mDroppedRaw.Add(n)
+		return nil
 	}
-	return nil
-}
-
-func (p *Proxy) forward(ue UniEvent) error {
-	var err error
-	if ue.IsPointer {
-		err = p.client.SendPointer(ue.Pointer)
-	} else {
-		err = p.client.SendKey(ue.Key)
+	p.inMu.Lock()
+	defer p.inMu.Unlock()
+	p.stats.rawEvents.Add(n)
+	mRawEvents.Add(n)
+	if p.activeInput.Load() != b { // deselected between snapshot and barrier
+		p.stats.droppedRaw.Add(n)
+		mDroppedRaw.Add(n)
+		return nil
 	}
-	if err == nil {
-		p.stats.uniSent.Add(1)
-		mUniSent.Inc()
-	}
-	return err
+	translate(b)
+	return p.flushLocked()
 }
 
 // --- output pipeline ---------------------------------------------------------

@@ -35,6 +35,11 @@ type ClientConn struct {
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
+	ws  [16]byte // write-path scratch (guarded by wmu): a stack array
+	// passed through io.Writer escapes to the heap per call, which on the
+	// event hot path would mean one allocation per input event.
+
+	rs [16]byte // read-path scratch (Run goroutine only), same rationale
 
 	fmu     sync.Mutex // guards fb, the format table and the decode scratch
 	fb      *gfx.Framebuffer
@@ -241,16 +246,18 @@ func (c *ClientConn) SetEncodings(encs []int32) error {
 func (c *ClientConn) RequestUpdate(incremental bool, r gfx.Rect) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	var b [10]byte
+	b := c.ws[:10]
 	b[0] = msgFramebufferRequest
 	if incremental {
 		b[1] = 1
+	} else {
+		b[1] = 0
 	}
 	be.PutUint16(b[2:], uint16(r.X))
 	be.PutUint16(b[4:], uint16(r.Y))
 	be.PutUint16(b[6:], uint16(r.W))
 	be.PutUint16(b[8:], uint16(r.H))
-	if err := writeAll(c.bw, b[:]); err != nil {
+	if err := writeAll(c.bw, b); err != nil {
 		return err
 	}
 	c.bytesSent.Add(10)
@@ -261,29 +268,83 @@ func (c *ClientConn) RequestUpdate(incremental bool, r gfx.Rect) error {
 func (c *ClientConn) SendKey(ev KeyEvent) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	var b [8]byte
-	b[0] = msgKeyEvent
-	if ev.Down {
-		b[1] = 1
-	}
-	be.PutUint32(b[4:], ev.Key)
-	if err := writeAll(c.bw, b[:]); err != nil {
+	if err := c.putKeyLocked(ev); err != nil {
 		return err
 	}
 	c.bytesSent.Add(8)
 	return c.bw.Flush()
 }
 
-// SendPointer forwards a universal pointer event to the server.
-func (c *ClientConn) SendPointer(ev PointerEvent) error {
+// InputEvent is one universal input event in batch form: exactly one of
+// the pointer/key halves is meaningful, selected by IsPointer. It exists
+// so a burst of translated events can cross the write path together (see
+// WriteEvents).
+type InputEvent struct {
+	IsPointer bool
+	Pointer   PointerEvent
+	Key       KeyEvent
+}
+
+// WriteEvents appends every event to the send buffer and flushes once, so
+// a burst of translated device events costs one transport write instead
+// of one per event. Events are transmitted in slice order.
+func (c *ClientConn) WriteEvents(evs []InputEvent) error {
+	if len(evs) == 0 {
+		return nil
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	var b [6]byte
+	var n int64
+	// Count what was actually buffered even on a mid-batch error, so the
+	// byte accounting matches the single-event senders (which count
+	// before flushing).
+	defer func() { c.bytesSent.Add(n) }()
+	for i := range evs {
+		ev := &evs[i]
+		if ev.IsPointer {
+			if err := c.putPointerLocked(ev.Pointer); err != nil {
+				return err
+			}
+			n += 6
+		} else {
+			if err := c.putKeyLocked(ev.Key); err != nil {
+				return err
+			}
+			n += 8
+		}
+	}
+	return c.bw.Flush()
+}
+
+// putKeyLocked buffers a key event without flushing (wmu held).
+func (c *ClientConn) putKeyLocked(ev KeyEvent) error {
+	b := c.ws[:8]
+	b[0] = msgKeyEvent
+	if ev.Down {
+		b[1] = 1
+	} else {
+		b[1] = 0
+	}
+	b[2], b[3] = 0, 0
+	be.PutUint32(b[4:], ev.Key)
+	return writeAll(c.bw, b)
+}
+
+// putPointerLocked buffers a pointer event without flushing (wmu held).
+func (c *ClientConn) putPointerLocked(ev PointerEvent) error {
+	b := c.ws[:6]
 	b[0] = msgPointerEvent
 	b[1] = ev.Buttons
 	be.PutUint16(b[2:], ev.X)
 	be.PutUint16(b[4:], ev.Y)
-	if err := writeAll(c.bw, b[:]); err != nil {
+	return writeAll(c.bw, b)
+}
+
+// SendPointer forwards a universal pointer event to the server.
+func (c *ClientConn) SendPointer(ev PointerEvent) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.putPointerLocked(ev); err != nil {
 		return err
 	}
 	c.bytesSent.Add(6)
@@ -315,28 +376,25 @@ func (c *ClientConn) SendCutText(text string) error {
 // error; io.EOF means orderly shutdown.
 func (c *ClientConn) Run(h ClientHandler) error {
 	for {
-		t, err := readU8(c.br)
+		t, err := c.br.ReadByte() // concrete call: no per-message escape
 		if err != nil {
 			return err
 		}
 		c.bytesReceived.Add(1)
 		switch t {
 		case msgFramebufferUpdate:
-			gen, err := readU8(c.br) // format generation in the pad byte
-			if err != nil {
+			if _, err := io.ReadFull(c.br, c.rs[:3]); err != nil {
 				return err
 			}
-			n, err := readU16(c.br)
-			if err != nil {
-				return err
-			}
+			gen := c.rs[0] // format generation in the pad byte
+			n := be.Uint16(c.rs[1:3])
 			c.bytesReceived.Add(3)
 			c.fmu.Lock()
 			rects := c.rects[:0]
 			pf := c.formatFor(gen)
 			for i := 0; i < int(n); i++ {
-				var hdr [12]byte
-				if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+				hdr := c.rs[:12]
+				if _, err := io.ReadFull(c.br, hdr); err != nil {
 					c.fmu.Unlock()
 					return err
 				}
@@ -347,8 +405,8 @@ func (c *ClientConn) Run(h ClientHandler) error {
 				enc := int32(be.Uint32(hdr[8:]))
 				c.bytesReceived.Add(12)
 				if enc == EncCopyRect {
-					var src [4]byte
-					if _, err := io.ReadFull(c.br, src[:]); err != nil {
+					src := c.rs[12:16]
+					if _, err := io.ReadFull(c.br, src); err != nil {
 						c.fmu.Unlock()
 						return err
 					}
@@ -380,7 +438,7 @@ func (c *ClientConn) Run(h ClientHandler) error {
 			}
 
 		case msgServerCutText:
-			if _, err := io.ReadFull(c.br, make([]byte, 3)); err != nil {
+			if _, err := io.ReadFull(c.br, c.rs[:3]); err != nil {
 				return err
 			}
 			n, err := readU32(c.br)

@@ -34,6 +34,9 @@ type ServerHandler interface {
 type ServerConn struct {
 	conn net.Conn
 	br   *bufio.Reader
+	rs   [16]byte // read-path scratch (Serve goroutine only): a stack
+	// array passed through io.Reader escapes to the heap per call, which
+	// on the input hot path would mean allocations on every event.
 
 	wmu sync.Mutex // serializes writes and guards bw and cw
 	bw  *bufio.Writer
@@ -182,14 +185,14 @@ func (s *ServerConn) Close() error { return s.conn.Close() }
 // closed-connection errors mean an orderly shutdown.
 func (s *ServerConn) Serve(h ServerHandler) error {
 	for {
-		t, err := readU8(s.br)
+		t, err := s.br.ReadByte() // concrete call: no per-message escape
 		if err != nil {
 			return err
 		}
 		s.bytesReceived.Add(1)
 		switch t {
 		case msgSetPixelFormat:
-			if _, err := io.ReadFull(s.br, make([]byte, 3)); err != nil {
+			if _, err := io.ReadFull(s.br, s.rs[:3]); err != nil {
 				return err
 			}
 			pf, err := readPixelFormat(s.br)
@@ -228,56 +231,37 @@ func (s *ServerConn) Serve(h ServerHandler) error {
 			s.smu.Unlock()
 
 		case msgFramebufferRequest:
-			inc, err := readU8(s.br)
-			if err != nil {
-				return err
-			}
-			var geo [8]byte
-			if _, err := io.ReadFull(s.br, geo[:]); err != nil {
+			b := s.rs[:9] // incremental flag + geometry
+			if _, err := io.ReadFull(s.br, b); err != nil {
 				return err
 			}
 			s.bytesReceived.Add(9)
 			h.UpdateRequest(UpdateRequest{
-				Incremental: inc != 0,
+				Incremental: b[0] != 0,
 				Region: gfx.R(
-					int(be.Uint16(geo[0:])), int(be.Uint16(geo[2:])),
-					int(be.Uint16(geo[4:])), int(be.Uint16(geo[6:])),
+					int(be.Uint16(b[1:])), int(be.Uint16(b[3:])),
+					int(be.Uint16(b[5:])), int(be.Uint16(b[7:])),
 				),
 			})
 
 		case msgKeyEvent:
-			down, err := readU8(s.br)
-			if err != nil {
-				return err
-			}
-			if _, err := io.ReadFull(s.br, make([]byte, 2)); err != nil {
-				return err
-			}
-			key, err := readU32(s.br)
-			if err != nil {
+			b := s.rs[:7] // down flag + padding + keysym
+			if _, err := io.ReadFull(s.br, b); err != nil {
 				return err
 			}
 			s.bytesReceived.Add(7)
-			h.KeyEvent(KeyEvent{Down: down != 0, Key: key})
+			h.KeyEvent(KeyEvent{Down: b[0] != 0, Key: be.Uint32(b[3:])})
 
 		case msgPointerEvent:
-			mask, err := readU8(s.br)
-			if err != nil {
-				return err
-			}
-			x, err := readU16(s.br)
-			if err != nil {
-				return err
-			}
-			y, err := readU16(s.br)
-			if err != nil {
+			b := s.rs[:5] // button mask + position
+			if _, err := io.ReadFull(s.br, b); err != nil {
 				return err
 			}
 			s.bytesReceived.Add(5)
-			h.PointerEvent(PointerEvent{Buttons: mask, X: x, Y: y})
+			h.PointerEvent(PointerEvent{Buttons: b[0], X: be.Uint16(b[1:]), Y: be.Uint16(b[3:])})
 
 		case msgClientCutText:
-			if _, err := io.ReadFull(s.br, make([]byte, 3)); err != nil {
+			if _, err := io.ReadFull(s.br, s.rs[:3]); err != nil {
 				return err
 			}
 			n, err := readU32(s.br)

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"uniint/internal/gfx"
@@ -79,14 +80,16 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		return err
 	}
 	sess := &session{
-		srv:        s,
-		conn:       rc,
-		dirty:      gfx.NewDamage(gfx.R(0, 0, w, h), 16),
-		outbox:     gfx.NewDamage(gfx.R(0, 0, w, h), 16),
-		bounds:     gfx.R(0, 0, w, h),
-		kick:       make(chan struct{}, 1),
-		quit:       make(chan struct{}),
-		writerDone: make(chan struct{}),
+		srv:          s,
+		conn:         rc,
+		dirty:        gfx.NewDamage(gfx.R(0, 0, w, h), 16),
+		outbox:       gfx.NewDamage(gfx.R(0, 0, w, h), 16),
+		bounds:       gfx.R(0, 0, w, h),
+		kick:         make(chan struct{}, 1),
+		inKick:       make(chan struct{}, 1),
+		quit:         make(chan struct{}),
+		writerDone:   make(chan struct{}),
+		dispatchDone: make(chan struct{}),
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -99,6 +102,7 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	mSessions.Inc()
 
 	go sess.writeLoop()
+	go sess.dispatchLoop()
 	err = rc.Serve(sess)
 
 	s.mu.Lock()
@@ -108,6 +112,7 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	rc.Close()
 	close(sess.quit)
 	<-sess.writerDone
+	<-sess.dispatchDone
 	return err
 }
 
@@ -194,9 +199,32 @@ type session struct {
 	conn   *rfb.ServerConn
 	bounds gfx.Rect
 
-	kick       chan struct{} // cap 1: work available for the writer
-	quit       chan struct{}
-	writerDone chan struct{}
+	kick         chan struct{} // cap 1: work available for the writer
+	inKick       chan struct{} // cap 1: input queued for the dispatcher
+	quit         chan struct{}
+	writerDone   chan struct{}
+	dispatchDone chan struct{}
+
+	// Input events are dispatched by a dedicated goroutine draining inq
+	// (see inputqueue.go), the input-side twin of the writer: a home app
+	// stalling inside a widget callback — a synchronous HAVi round trip —
+	// can no longer stop the read loop from draining framebuffer
+	// requests. lastPtrMask is read-loop-only state marking pure moves;
+	// inputMark carries the oldest undispatched input's enqueue time into
+	// the writer for the input→damage→update latency histogram.
+	inq         inputQueue
+	lastPtrMask uint8
+	inputMark   atomic.Int64
+
+	// reqs parks protocol update requests for the writer, which pumps
+	// the renderer and runs the request state machine in arrival order.
+	// Requests used to be processed synchronously on the read loop, which
+	// took the display widget lock there — so a dispatch stalled inside a
+	// widget callback blocked framebuffer-request reads, exactly the
+	// coupling the input queue exists to remove. reqs/reqSpare are
+	// guarded by mu and ping-pong so the steady state allocates nothing.
+	reqs     []rfb.UpdateRequest
+	reqSpare []rfb.UpdateRequest
 
 	mu         sync.Mutex
 	dirty      *gfx.Damage       // damage with no outstanding request yet
@@ -258,13 +286,37 @@ func (c *session) writeLoop() {
 				return
 			default:
 			}
+			// Process parked protocol requests first: render pending
+			// damage on the writer's time, never the read loop's — the
+			// pump takes the display widget lock, and a stalled widget
+			// callback must only delay updates, not request reads. The
+			// resulting rects land in the outbox before it drains below.
 			c.mu.Lock()
+			reqs := c.reqs
+			if c.reqSpare != nil {
+				c.reqs = c.reqSpare[:0]
+				c.reqSpare = nil
+			} else {
+				c.reqs = nil
+			}
+			c.mu.Unlock()
+			if len(reqs) > 0 {
+				// Ensure damage from before these requests is rendered.
+				c.srv.pump()
+				for _, req := range reqs {
+					c.processRequest(req)
+				}
+			}
+			c.mu.Lock()
+			if c.reqSpare == nil {
+				c.reqSpare = reqs[:0]
+			}
 			rects := c.outbox.TakeInto(c.spare)
 			c.spare = nil
 			empties := c.owedEmpty
 			c.owedEmpty = 0
 			c.mu.Unlock()
-			if len(rects) == 0 && empties == 0 {
+			if len(rects) == 0 && empties == 0 && len(reqs) == 0 {
 				c.spare = rects
 				break
 			}
@@ -332,33 +384,61 @@ func (c *session) flush(rects []gfx.Rect) {
 	}
 	mUpdatesSent.Inc()
 	mUpdateBytes.Add(int64(size))
+	// Close the input→damage→update loop: this update is the first to
+	// ship since an input event was dispatched, so it (approximately)
+	// carries that input's visual consequence.
+	if mark := c.inputMark.Swap(0); mark != 0 {
+		mInputToUpdateSec.Observe(float64(time.Now().UnixNano()-mark) / 1e9)
+	}
 }
 
 var _ rfb.ServerHandler = (*session)(nil)
 
-// KeyEvent implements rfb.ServerHandler: universal input → window system.
+// KeyEvent implements rfb.ServerHandler: universal input → input queue →
+// window system. The read loop only enqueues; dispatchLoop injects.
 func (c *session) KeyEvent(ev rfb.KeyEvent) {
 	mKeyEvents.Inc()
-	c.srv.display.InjectKey(ev.Down, toolkit.Key(ev.Key))
+	c.inq.put(inputEvent{enq: time.Now().UnixNano(), key: ev})
+	c.wakeDispatch()
 }
 
-// PointerEvent implements rfb.ServerHandler.
+// PointerEvent implements rfb.ServerHandler. An event that changes no
+// buttons relative to the previous pointer event on this connection is a
+// pure move — the only kind the queue may coalesce under backpressure.
 func (c *session) PointerEvent(ev rfb.PointerEvent) {
 	mPointerEvents.Inc()
-	c.srv.display.InjectPointer(int(ev.X), int(ev.Y), ev.Buttons)
+	move := ev.Buttons == c.lastPtrMask
+	c.lastPtrMask = ev.Buttons
+	c.inq.put(inputEvent{enq: time.Now().UnixNano(), ptr: ev, pointer: true, move: move})
+	c.wakeDispatch()
+}
+
+func (c *session) wakeDispatch() {
+	select {
+	case c.inKick <- struct{}{}:
+	default: // dispatcher already signalled
+	}
 }
 
 // CutText implements rfb.ServerHandler (ignored; appliances do not paste).
 func (c *session) CutText(string) {}
 
-// UpdateRequest implements rfb.ServerHandler. Non-incremental requests are
-// answered with the full region; incremental requests are answered when
-// damage exists, otherwise parked until damage arrives. All replies flow
-// through the writer's coalescing outbox so the read loop never blocks on
-// the transport.
+// UpdateRequest implements rfb.ServerHandler: park the request for the
+// writer and return. The read loop neither blocks on the transport nor
+// takes the display widget lock — both the render pump and the request
+// state machine run on the writer goroutine (processRequest).
 func (c *session) UpdateRequest(req rfb.UpdateRequest) {
-	// Ensure pending damage from before this connection is rendered.
-	c.srv.pump()
+	c.mu.Lock()
+	c.reqs = append(c.reqs, req)
+	c.mu.Unlock()
+	c.wake()
+}
+
+// processRequest runs the request state machine (writer goroutine).
+// Non-incremental requests are answered with the full region; incremental
+// requests are answered when damage exists, otherwise parked until damage
+// arrives. All replies flow through the writer's coalescing outbox.
+func (c *session) processRequest(req rfb.UpdateRequest) {
 	if !req.Incremental {
 		region := req.Region.Intersect(c.bounds)
 		c.mu.Lock()

@@ -1,0 +1,132 @@
+package workload
+
+import "math/rand"
+
+// Input storm: the pointer-flood workload for the input→update control
+// pipeline. Continuous-input modalities — a stylus sweeping a PDA panel,
+// gestural control, spatial trackers — produce long runs of pointer moves
+// punctuated by press/release transitions and the occasional key event.
+// InputStorm scripts that mixture deterministically across M hub-hosted
+// homes, so benchmarks can drive the proxy batching, the wire, the
+// per-session input queue and the dispatch path with a realistic shape:
+// mostly coalescable moves, with the semantic events (transitions, keys)
+// a correct pipeline must never lose.
+
+// InputKind tags one scripted input step.
+type InputKind int
+
+// Step kinds. Moves are the flood material (coalescable); presses,
+// releases and keys are semantic and must survive every coalescing stage.
+const (
+	InputMove InputKind = iota
+	InputPress
+	InputRelease
+	InputKey
+)
+
+// InputStep is one scripted universal input event in one home.
+type InputStep struct {
+	Home    int       // home index in [0, Homes)
+	Kind    InputKind // move / press / release / key
+	X, Y    int       // pointer position (pointer kinds)
+	Buttons uint8     // button mask after the event (pointer kinds)
+	Key     uint32    // keysym (InputKey)
+	Down    bool      // key direction (InputKey)
+}
+
+// Pointer reports whether the step is a pointer event.
+func (s InputStep) Pointer() bool { return s.Kind != InputKey }
+
+// InputStorm generates a deterministic pointer-flood stream: per home, a
+// random-walk pointer sweeps the panel; every MovesPerGesture moves the
+// stream inserts a press (starting a drag run) or the matching release,
+// and roughly one gesture in four ends with a key tap (the keypad
+// modality sharing the session).
+type InputStorm struct {
+	Homes int // number of homes the storm is spread over
+	W, H  int // panel geometry the pointer walks
+
+	// MovesPerGesture is the length of each pure-move run between button
+	// transitions — the coalescing opportunity per gesture.
+	MovesPerGesture int
+
+	rng   *rand.Rand
+	x, y  []int  // per-home pointer position
+	down  []bool // per-home button state
+	run   []int  // per-home moves remaining in the current run
+	keyUp []int  // per-home pending key-release (keysym+1, 0 = none)
+}
+
+// NewInputStorm builds a storm over homes panels of w×h pixels,
+// deterministic under seed.
+func NewInputStorm(homes, w, h, movesPerGesture int, seed int64) *InputStorm {
+	if homes < 1 {
+		homes = 1
+	}
+	if movesPerGesture < 1 {
+		movesPerGesture = 16
+	}
+	s := &InputStorm{
+		Homes:           homes,
+		W:               w,
+		H:               h,
+		MovesPerGesture: movesPerGesture,
+		rng:             rand.New(rand.NewSource(seed)),
+		x:               make([]int, homes),
+		y:               make([]int, homes),
+		down:            make([]bool, homes),
+		run:             make([]int, homes),
+		keyUp:           make([]int, homes),
+	}
+	for i := 0; i < homes; i++ {
+		s.x[i] = w / 2
+		s.y[i] = h / 2
+		s.run[i] = movesPerGesture
+	}
+	return s
+}
+
+// Next returns the next scripted step.
+func (s *InputStorm) Next() InputStep {
+	home := s.rng.Intn(s.Homes)
+	if k := s.keyUp[home]; k != 0 { // finish the pending key tap first
+		s.keyUp[home] = 0
+		return InputStep{Home: home, Kind: InputKey, Key: uint32(k - 1), Down: false}
+	}
+	if s.run[home] > 0 { // pure move: random walk, clamped to the panel
+		s.run[home]--
+		s.x[home] = clamp(s.x[home]+s.rng.Intn(17)-8, 0, s.W-1)
+		s.y[home] = clamp(s.y[home]+s.rng.Intn(17)-8, 0, s.H-1)
+		var mask uint8
+		if s.down[home] {
+			mask = 1
+		}
+		return InputStep{Home: home, Kind: InputMove, X: s.x[home], Y: s.y[home], Buttons: mask}
+	}
+	// Run exhausted: transition (press or release), or a key tap after
+	// roughly one gesture in four.
+	s.run[home] = s.MovesPerGesture
+	if !s.down[home] && s.rng.Intn(4) == 0 {
+		key := uint32('0' + s.rng.Intn(10))
+		s.keyUp[home] = int(key) + 1
+		return InputStep{Home: home, Kind: InputKey, Key: key, Down: true}
+	}
+	s.down[home] = !s.down[home]
+	kind := InputRelease
+	var mask uint8
+	if s.down[home] {
+		kind = InputPress
+		mask = 1
+	}
+	return InputStep{Home: home, Kind: kind, X: s.x[home], Y: s.y[home], Buttons: mask}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

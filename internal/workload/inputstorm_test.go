@@ -1,0 +1,73 @@
+package workload
+
+import "testing"
+
+// TestInputStormDeterministic: identical seeds produce identical streams.
+func TestInputStormDeterministic(t *testing.T) {
+	a := NewInputStorm(4, 320, 240, 16, 11)
+	b := NewInputStorm(4, 320, 240, 16, 11)
+	for i := 0; i < 5000; i++ {
+		if sa, sb := a.Next(), b.Next(); sa != sb {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, sa, sb)
+		}
+	}
+}
+
+// TestInputStormShape checks the stream's structural invariants: presses
+// and releases alternate per home, moves carry the current drag mask,
+// key taps pair down/up, positions stay on the panel, and moves dominate
+// (it is a flood workload).
+func TestInputStormShape(t *testing.T) {
+	const homes = 3
+	s := NewInputStorm(homes, 320, 240, 8, 7)
+	down := make([]bool, homes)
+	keyHeld := make([]bool, homes)
+	counts := map[InputKind]int{}
+	for i := 0; i < 20000; i++ {
+		st := s.Next()
+		counts[st.Kind]++
+		if st.Home < 0 || st.Home >= homes {
+			t.Fatalf("step %d: home %d out of range", i, st.Home)
+		}
+		switch st.Kind {
+		case InputPress:
+			if down[st.Home] {
+				t.Fatalf("step %d: double press", i)
+			}
+			down[st.Home] = true
+			if st.Buttons != 1 {
+				t.Fatalf("step %d: press mask %d", i, st.Buttons)
+			}
+		case InputRelease:
+			if !down[st.Home] {
+				t.Fatalf("step %d: release without press", i)
+			}
+			down[st.Home] = false
+			if st.Buttons != 0 {
+				t.Fatalf("step %d: release mask %d", i, st.Buttons)
+			}
+		case InputMove:
+			want := uint8(0)
+			if down[st.Home] {
+				want = 1
+			}
+			if st.Buttons != want {
+				t.Fatalf("step %d: move mask %d during down=%v", i, st.Buttons, down[st.Home])
+			}
+			if st.X < 0 || st.X >= 320 || st.Y < 0 || st.Y >= 240 {
+				t.Fatalf("step %d: position (%d,%d) off panel", i, st.X, st.Y)
+			}
+		case InputKey:
+			if st.Down == keyHeld[st.Home] {
+				t.Fatalf("step %d: key %v while held=%v", i, st.Down, keyHeld[st.Home])
+			}
+			keyHeld[st.Home] = st.Down
+		}
+	}
+	if counts[InputMove] < 10*counts[InputPress] {
+		t.Errorf("not a flood: %d moves vs %d presses", counts[InputMove], counts[InputPress])
+	}
+	if counts[InputPress] == 0 || counts[InputKey] == 0 {
+		t.Errorf("missing semantic traffic: %v", counts)
+	}
+}
