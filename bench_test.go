@@ -676,8 +676,10 @@ func BenchmarkE11ShapedLink(b *testing.B) {
 			srv := uniserver.New(display, "shaped")
 			defer srv.Close()
 
+			// One shaped wrap covers both directions (Wrap is symmetric);
+			// wrapping both pipe ends would shape every byte twice.
 			sc, cc := net.Pipe()
-			go srv.HandleConn(netsim.Wrap(sc, link.opts...))
+			go srv.HandleConn(sc)
 			proxy, err := core.Dial(netsim.Wrap(cc, link.opts...))
 			if err != nil {
 				b.Fatal(err)

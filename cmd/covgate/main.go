@@ -1,0 +1,106 @@
+// Command covgate turns the CI coverage artifact into a gate: it parses
+// a Go cover profile (the coverage.out written by `go test
+// -coverprofile`), computes total statement coverage, and exits non-zero
+// when it falls below the committed threshold. The threshold lives in
+// the Makefile (COVER_MIN) so raising it is a reviewed change, like the
+// benchmark baseline.
+//
+//	go run ./cmd/covgate -profile coverage.out -min 70
+//
+// Profiles produced with -covermode set, count or atomic are all
+// accepted; blocks repeated across merged profiles accumulate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// block is one profile entry's identity (file plus position span).
+type block struct {
+	pos string
+}
+
+type blockStat struct {
+	stmts int
+	count int64
+}
+
+func main() {
+	profile := flag.String("profile", "coverage.out", "cover profile to parse")
+	minPct := flag.Float64("min", 70, "minimum total statement coverage (percent)")
+	flag.Parse()
+
+	total, covered, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covgate: %v\n", err)
+		os.Exit(2)
+	}
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "covgate: profile contains no statements")
+		os.Exit(2)
+	}
+	pct := 100 * float64(covered) / float64(total)
+	fmt.Printf("covgate: %.1f%% of statements covered (%d/%d), threshold %.1f%%\n",
+		pct, covered, total, *minPct)
+	if pct < *minPct {
+		fmt.Printf("covgate: FAIL — coverage %.1f%% below threshold %.1f%%\n", pct, *minPct)
+		os.Exit(1)
+	}
+	fmt.Println("covgate: OK")
+}
+
+// parseProfile reads a cover profile and returns (total statements,
+// covered statements), merging duplicate blocks across appended
+// profiles.
+func parseProfile(path string) (total, covered int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	stats := make(map[block]blockStat)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		// file.go:sl.sc,el.ec numstmts count
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return 0, 0, fmt.Errorf("%s:%d: malformed profile line %q", path, line, text)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s:%d: bad statement count: %v", path, line, err)
+		}
+		count, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s:%d: bad hit count: %v", path, line, err)
+		}
+		b := block{pos: fields[0]}
+		st := stats[b]
+		st.stmts = stmts
+		st.count += count
+		stats[b] = st
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	for _, st := range stats {
+		total += st.stmts
+		if st.count > 0 {
+			covered += st.stmts
+		}
+	}
+	return total, covered, nil
+}

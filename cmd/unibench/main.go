@@ -191,8 +191,10 @@ func e11(reps int) error {
 		app := homeapp.New(home.Network(), display)
 		srv := uniserver.New(display, "shaped")
 
+		// Wrap is symmetric (shapes both directions), so one wrapped end
+		// simulates the whole link.
 		sc, cc := net.Pipe()
-		go srv.HandleConn(netsim.Wrap(sc, link.opts...))
+		go srv.HandleConn(sc)
 		proxy, err := core.Dial(netsim.Wrap(cc, link.opts...))
 		if err != nil {
 			return err

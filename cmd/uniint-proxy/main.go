@@ -18,7 +18,13 @@
 //	situation <loc> <activity> [hands] [seated]   drive the rule engine
 //	show                         render the selected output's last frame
 //	stats                        proxy counters
+//	session                      resume token, reconnect/resume counters
 //	quit
+//
+// The connection is supervised: when the link drops, the console keeps
+// working while the proxy redials, presents its resume token, and
+// reclaims the parked server-side session (an incremental resync rather
+// than a full repaint). `session` shows how often that happened.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"uniint/internal/core"
 	"uniint/internal/device"
@@ -48,26 +55,20 @@ func main() {
 }
 
 func run(addr, home string) error {
-	var conn net.Conn
-	var err error
-	if home != "" {
-		conn, err = hub.DialHome(addr, home) // sends the routing preamble
-	} else {
-		conn, err = net.Dial("tcp", addr)
+	dial := func() (net.Conn, error) {
+		if home != "" {
+			return hub.DialHome(addr, home) // sends the routing preamble
+		}
+		return net.Dial("tcp", addr)
 	}
+	sup, err := core.NewSupervisor(dial, core.WithBackoff(500*time.Millisecond))
 	if err != nil {
 		return err
 	}
-	proxy, err := core.Dial(conn)
-	if err != nil {
-		return err
-	}
-	defer proxy.Close()
-	runErr := make(chan error, 1)
-	go func() { runErr <- proxy.Run() }()
+	defer sup.Close()
 
-	w, h := proxy.Client().Size()
-	fmt.Printf("connected to %q (%dx%d desktop)\n", proxy.Client().Name(), w, h)
+	w, h := sup.Proxy().Client().Size()
+	fmt.Printf("connected to %q (%dx%d desktop)\n", sup.Proxy().Client().Name(), w, h)
 
 	// The standard device set travels with the user.
 	pda := device.NewPDA("pda")
@@ -82,25 +83,25 @@ func run(addr, home string) error {
 	defer remote.Close()
 	defer gesture.Close()
 	for _, in := range []core.InputDevice{pda, phone, voice, remote, gesture} {
-		if err := proxy.AttachInput(in); err != nil {
+		if err := sup.AttachInput(in); err != nil {
 			return err
 		}
 	}
 	for _, out := range []core.OutputDevice{pda, phone, tv} {
-		if err := proxy.AttachOutput(out); err != nil {
+		if err := sup.AttachOutput(out); err != nil {
 			return err
 		}
 	}
-	if err := proxy.SelectInput("pda"); err != nil {
+	if err := sup.SelectInput("pda"); err != nil {
 		return err
 	}
-	if err := proxy.SelectOutput("pda"); err != nil {
+	if err := sup.SelectOutput("pda"); err != nil {
 		return err
 	}
-	engine := situation.NewEngine(proxy, situation.DefaultRules())
+	engine := situation.NewEngine(sup, situation.DefaultRules())
 
 	latest := func() (core.Frame, bool) {
-		switch proxy.ActiveOutput() {
+		switch sup.Proxy().ActiveOutput() {
 		case "pda":
 			return pda.Latest(), true
 		case "phone":
@@ -113,16 +114,20 @@ func run(addr, home string) error {
 
 	fmt.Println("type 'help' for commands")
 	sc := bufio.NewScanner(os.Stdin)
+	lastReconnects := int64(0)
 	for {
-		fmt.Printf("[in=%s out=%s]> ", proxy.ActiveInput(), proxy.ActiveOutput())
+		if n := sup.Reconnects(); n != lastReconnects {
+			fmt.Printf("(link dropped; reconnected ×%d, session resumes ×%d)\n", n, sup.Resumes())
+			lastReconnects = n
+		}
+		fmt.Printf("[in=%s out=%s]> ", sup.Proxy().ActiveInput(), sup.Proxy().ActiveOutput())
 		if !sc.Scan() {
 			return sc.Err()
 		}
-		select {
-		case err := <-runErr:
-			return fmt.Errorf("connection lost: %w", err)
-		default:
-		}
+		// Re-resolve after the (blocking) read: the supervisor may have
+		// swapped in a reconnected proxy while the console sat at the
+		// prompt.
+		proxy := sup.Proxy()
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
 			continue
@@ -134,17 +139,17 @@ func run(addr, home string) error {
 		case "help":
 			fmt.Println("devices | in <id> | out <id> | mirror <id> | unmirror <id> | key <k> |" +
 				" say <...> | press <b> | tap <x> <y> | stroke <s> |" +
-				" situation <loc> <act> [hands] [seated] | show | stats | quit")
+				" situation <loc> <act> [hands] [seated] | show | stats | session | quit")
 		case "devices":
 			fmt.Println("inputs: ", proxy.InputIDs())
 			fmt.Println("outputs:", proxy.OutputIDs())
 		case "in":
 			if len(args) == 1 {
-				reportErr(proxy.SelectInput(args[0]))
+				reportErr(sup.SelectInput(args[0]))
 			}
 		case "out":
 			if len(args) == 1 {
-				reportErr(proxy.SelectOutput(args[0]))
+				reportErr(sup.SelectOutput(args[0]))
 			}
 		case "mirror":
 			if len(args) == 1 {
@@ -203,6 +208,9 @@ func run(addr, home string) error {
 		case "stats":
 			st := proxy.Stats()
 			fmt.Printf("%+v\n", st)
+		case "session":
+			fmt.Printf("token %s  reconnects %d  resumes %d  resumed-now %v\n",
+				proxy.SessionToken(), sup.Reconnects(), sup.Resumes(), proxy.Resumed())
 		default:
 			fmt.Printf("unknown command %q (try 'help')\n", cmd)
 		}

@@ -141,7 +141,15 @@ func NewProxy(client *rfb.ClientConn) *Proxy {
 
 // Dial connects to a UniInt server over conn and returns the proxy.
 func Dial(conn net.Conn) (*Proxy, error) {
-	client, err := rfb.Dial(conn)
+	return DialResume(conn, "")
+}
+
+// DialResume is Dial presenting a resume token from a previous session:
+// a server that still holds the parked session reclaims it and ships
+// only the damage accumulated while the link was down. Resumed reports
+// the verdict; SessionToken carries the token for the next reconnect.
+func DialResume(conn net.Conn, token string) (*Proxy, error) {
+	client, err := rfb.DialResume(conn, token)
 	if err != nil {
 		return nil, fmt.Errorf("core: dial server: %w", err)
 	}
@@ -155,6 +163,15 @@ func Dial(conn net.Conn) (*Proxy, error) {
 	}
 	return c, nil
 }
+
+// SessionToken returns the resume token the server issued for this
+// session ("" when the server issues none). Present it to DialResume
+// after a link failure to reclaim the server-side session.
+func (p *Proxy) SessionToken() string { return p.client.Token() }
+
+// Resumed reports whether this connection reclaimed a parked server-side
+// session.
+func (p *Proxy) Resumed() bool { return p.client.Resumed() }
 
 // Client exposes the underlying protocol connection (stats, testing).
 func (p *Proxy) Client() *rfb.ClientConn { return p.client }
@@ -389,15 +406,38 @@ func (p *Proxy) SelectOutput(id string) error {
 
 	if changed {
 		p.stats.outSwitches.Add(1)
-		if err := p.client.SetPixelFormat(b.plugin.PixelFormat()); err != nil {
-			return err
-		}
-		w, h := p.client.Size()
-		if err := p.client.RequestUpdate(false, gfx.R(0, 0, w, h)); err != nil {
-			return err
-		}
+		return p.negotiateOutput(b, false)
 	}
 	return nil
+}
+
+// negotiateOutput renegotiates the wire pixel format for the output
+// binding and demands a repaint — full for a user-visible device switch,
+// incremental on a resumed restore (the server preserved the session and
+// ships only the detach-window damage).
+func (p *Proxy) negotiateOutput(b *outputBinding, incremental bool) error {
+	if err := p.client.SetPixelFormat(b.plugin.PixelFormat()); err != nil {
+		return err
+	}
+	w, h := p.client.Size()
+	return p.client.RequestUpdate(incremental, gfx.R(0, 0, w, h))
+}
+
+// restoreOutput re-applies an output selection on a rebuilt connection
+// (the Supervisor's reconnect path). Unlike SelectOutput it always
+// renegotiates — the new connection has no negotiated state yet — and on
+// a resumed session requests incrementally instead of forcing the full
+// repaint a cold rejoin needs.
+func (p *Proxy) restoreOutput(id string, resumed bool) error {
+	p.mu.Lock()
+	b, ok := p.outputs[id]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: output %s", ErrUnknownDevice, id)
+	}
+	p.activeOut = id
+	p.mu.Unlock()
+	return p.negotiateOutput(b, resumed)
 }
 
 // SelectInputByClass selects the first attached input device of the given

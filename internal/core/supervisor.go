@@ -19,6 +19,13 @@ type DialFunc func() (net.Conn, error)
 // restores the selection. The user's devices keep working; at worst they
 // miss the frames sent while the link was down.
 //
+// Reconnects are resume-aware: the supervisor carries the session token
+// the server issued and presents it on every redial. When the server
+// still holds the parked session (uniserver's detach lot), the rebuilt
+// proxy adopts the previous connection's shadow framebuffer and demands
+// only an incremental update — the resync carries just the damage
+// accumulated while the link was down, not a full repaint.
+//
 // The paper's user roams between home, office and public spaces; session
 // continuity across links is the practical face of "control appliances in
 // a uniform way at any places".
@@ -33,14 +40,20 @@ type Supervisor struct {
 	outputs []OutputDevice
 	selIn   string
 	selOut  string
+	token   string // resume token presented on the next redial
 	closed  bool
 
 	stop chan struct{}
 	done chan struct{}
 
 	reconnects atomic.Int64
-	lastErr    atomic.Value // error
+	resumes    atomic.Int64
+	lastErr    atomic.Value // errBox
 }
+
+// errBox wraps errors for atomic.Value, which requires every store to
+// carry the same concrete type (connection errors do not).
+type errBox struct{ err error }
 
 // SupervisorOption configures a Supervisor.
 type SupervisorOption func(*Supervisor)
@@ -74,6 +87,7 @@ func NewSupervisor(dial DialFunc, opts ...SupervisorOption) (*Supervisor, error)
 		return nil, err
 	}
 	s.proxy = proxy
+	s.token = proxy.SessionToken()
 	go s.supervise()
 	return s, nil
 }
@@ -83,7 +97,10 @@ func (s *Supervisor) connect() (*Proxy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: supervisor dial: %w", err)
 	}
-	return Dial(conn)
+	s.mu.Lock()
+	token := s.token
+	s.mu.Unlock()
+	return DialResume(conn, token)
 }
 
 // Proxy returns the currently live proxy. The pointer changes across
@@ -98,15 +115,19 @@ func (s *Supervisor) Proxy() *Proxy {
 // Reconnects reports how many times the session has been re-established.
 func (s *Supervisor) Reconnects() int64 { return s.reconnects.Load() }
 
+// Resumes reports how many reconnects reclaimed the parked server-side
+// session (incremental resync) rather than rejoining cold.
+func (s *Supervisor) Resumes() int64 { return s.resumes.Load() }
+
 // LastError returns the most recent connection error (nil before any).
 func (s *Supervisor) LastError() error {
 	if v := s.lastErr.Load(); v != nil {
-		if err, ok := v.(error); ok {
-			return err
-		}
+		return v.(errBox).err
 	}
 	return nil
 }
+
+func (s *Supervisor) setErr(err error) { s.lastErr.Store(errBox{err}) }
 
 // AttachInput attaches the device now and on every future reconnect.
 func (s *Supervisor) AttachInput(d InputDevice) error {
@@ -208,7 +229,7 @@ func (s *Supervisor) supervise() {
 		s.mu.Unlock()
 
 		err := proxy.Run() // blocks for the life of the connection
-		s.lastErr.Store(err)
+		s.setErr(err)
 		proxy.Close()
 
 		select {
@@ -228,14 +249,17 @@ func (s *Supervisor) supervise() {
 			next, err := s.connect()
 			if err == nil {
 				if rerr := s.restore(next); rerr != nil {
-					s.lastErr.Store(rerr)
+					s.setErr(rerr)
 					next.Close()
 					continue
 				}
 				s.reconnects.Add(1)
+				if next.Resumed() {
+					s.resumes.Add(1)
+				}
 				break
 			}
-			s.lastErr.Store(err)
+			s.setErr(err)
 			tries++
 			if s.maxTry > 0 && tries >= s.maxTry {
 				return
@@ -245,7 +269,15 @@ func (s *Supervisor) supervise() {
 }
 
 // restore re-attaches devices and re-applies the selection to a fresh
-// proxy, then installs it.
+// proxy, then installs it. Restoration is all-or-nothing: a failure
+// leaves the supervisor's remembered state and installed proxy untouched
+// (the caller discards next and redials), so a connection dying
+// mid-restore can never half-apply selections.
+//
+// On a resumed connection the server preserved the whole session, so the
+// new proxy adopts the previous connection's shadow framebuffer and the
+// output selection is restored with an incremental request — the resync
+// carries only the damage accumulated while detached.
 func (s *Supervisor) restore(next *Proxy) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -267,11 +299,16 @@ func (s *Supervisor) restore(next *Proxy) error {
 			return err
 		}
 	}
+	resumed := next.Resumed()
+	if resumed {
+		next.Client().AdoptShadow(s.proxy.Client())
+	}
 	if s.selOut != "" {
-		if err := next.SelectOutput(s.selOut); err != nil {
+		if err := next.restoreOutput(s.selOut, resumed); err != nil {
 			return err
 		}
 	}
 	s.proxy = next
+	s.token = next.SessionToken()
 	return nil
 }

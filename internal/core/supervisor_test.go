@@ -3,6 +3,7 @@ package core_test
 import (
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -186,4 +187,139 @@ func TestSupervisorWorksOverShapedLink(t *testing.T) {
 	}
 	voice.Say("select")
 	waitCond(t, "click over shaped link", func() bool { return clicks() == 1 })
+}
+
+// TestSupervisorResumesParkedSession: the reconnect after a link failure
+// presents the session token, reclaims the parked server-side session
+// and reports the resume.
+func TestSupervisorResumesParkedSession(t *testing.T) {
+	st := newSupervisedStack(t)
+	_, clicks := buttonPanel(st.display, "Lamp")
+
+	sup, err := core.NewSupervisor(st.dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	phone := device.NewPhone("phone-1")
+	defer phone.Close()
+	if err := sup.AttachInput(phone); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.SelectInput("phone-1"); err != nil {
+		t.Fatal(err)
+	}
+	token := sup.Proxy().SessionToken()
+	if token == "" {
+		t.Fatal("no session token issued")
+	}
+
+	st.dropLink()
+	waitCond(t, "reconnect", func() bool { return sup.Reconnects() == 1 })
+	if got := sup.Resumes(); got != 1 {
+		t.Fatalf("Resumes() = %d, want 1 (reconnect should reclaim the parked session)", got)
+	}
+	if !sup.Proxy().Resumed() {
+		t.Fatal("proxy should report a resumed connection")
+	}
+	if got := sup.Proxy().SessionToken(); got != token {
+		t.Fatalf("session re-keyed across resume: %q != %q", got, token)
+	}
+
+	// The session still works end to end.
+	deadline := time.Now().Add(2 * time.Second)
+	for clicks() < 1 && time.Now().Before(deadline) {
+		phone.PressKey("ok")
+		time.Sleep(10 * time.Millisecond)
+	}
+	if clicks() < 1 {
+		t.Fatal("input dead after resume")
+	}
+}
+
+// TestSupervisorRestoreSurvivesMidRestoreDeath: connections that die
+// partway through restore (injected byte-budget kills truncating the
+// restore traffic at varying offsets) must not half-apply selections —
+// whenever the supervisor finally lands on a healthy link, both
+// selections are in place and the session works.
+func TestSupervisorRestoreSurvivesMidRestoreDeath(t *testing.T) {
+	st := newSupervisedStack(t)
+	_, clicks := buttonPanel(st.display, "Lamp")
+
+	// Dial plan: first connection healthy; the next few die after a
+	// seeded byte budget chosen to land inside handshake or restore;
+	// then healthy again. The injector truncates the killing write.
+	inj := netsim.NewInjector(netsim.FaultConfig{
+		Seed:         11,
+		DropAfterMin: 40,
+		DropAfterMax: 400,
+		Truncate:     true,
+	})
+	var dialCount atomic.Int64
+	dial := func() (net.Conn, error) {
+		n := dialCount.Add(1)
+		sc, cc := net.Pipe()
+		go st.srv.HandleConn(sc)
+		link := netsim.Wrap(cc)
+		if n >= 2 && n <= 4 {
+			link = inj.Wrap(cc)
+		}
+		st.mu.Lock()
+		st.link = link
+		st.mu.Unlock()
+		return link, nil
+	}
+
+	sup, err := core.NewSupervisor(dial, core.WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	phone := device.NewPhone("phone-1")
+	tv := device.NewTVDisplay("tv-1")
+	defer phone.Close()
+	if err := sup.AttachInput(phone); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.AttachOutput(tv); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.SelectInput("phone-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.SelectOutput("tv-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	st.dropLink()
+	// The supervisor chews through the faulty dials. A faulty link can
+	// survive its own handshake and die later — keep pressing keys so
+	// traffic burns every kill budget until a healthy link is up.
+	deadline := time.Now().Add(5 * time.Second)
+	for !(sup.Reconnects() >= 1 && dialCount.Load() >= 5) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stuck: dials=%d reconnects=%d", dialCount.Load(), sup.Reconnects())
+		}
+		phone.PressKey("ok")
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sup.LastError() == nil {
+		t.Error("mid-restore failures should populate LastError")
+	}
+
+	// No half-application: both selections present, never one without
+	// the other, and the session is live.
+	proxy := sup.Proxy()
+	if in, out := proxy.ActiveInput(), proxy.ActiveOutput(); in != "phone-1" || out != "tv-1" {
+		t.Fatalf("selections half-applied: in=%q out=%q", in, out)
+	}
+	before := clicks()
+	deadline = time.Now().Add(2 * time.Second)
+	for clicks() == before && time.Now().Before(deadline) {
+		phone.PressKey("ok")
+		time.Sleep(10 * time.Millisecond)
+	}
+	if clicks() == before {
+		t.Fatal("session dead after mid-restore failures")
+	}
 }

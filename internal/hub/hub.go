@@ -42,6 +42,18 @@ type Home interface {
 	Close()
 }
 
+// SessionParker is optionally implemented by homes whose server parks
+// disconnected sessions (uniint.HubSession does). The hub consults it
+// for park-aware eviction — a home with sessions waiting in its detach
+// lot is not idle, whatever its connection count says — and for token
+// routing (TokenHome preambles).
+type SessionParker interface {
+	// Parked returns the number of sessions waiting in the detach lot.
+	Parked() int
+	// HasParked reports whether the lot holds a live session for token.
+	HasParked(token string) bool
+}
+
 // Factory builds the Home for a home ID on admission.
 type Factory func(homeID string) (Home, error)
 
@@ -130,6 +142,9 @@ type Hub struct {
 	mRouteHits    *metrics.Counter
 	mRouteMisses  *metrics.Counter
 	mRejects      *metrics.Counter
+	mTokenRoutes  *metrics.Counter
+	mTokenMisses  *metrics.Counter
+	mParkSkips    *metrics.Counter
 	mRouteSeconds *metrics.Histogram
 }
 
@@ -157,6 +172,9 @@ func New(opts Options) (*Hub, error) {
 		mRouteHits:    opts.Metrics.Counter("hub_route_hits_total"),
 		mRouteMisses:  opts.Metrics.Counter("hub_route_misses_total"),
 		mRejects:      opts.Metrics.Counter("hub_rejects_total"),
+		mTokenRoutes:  opts.Metrics.Counter("hub_token_routes_total"),
+		mTokenMisses:  opts.Metrics.Counter("hub_token_route_misses_total"),
+		mParkSkips:    opts.Metrics.Counter("hub_evictions_skipped_parked_total"),
 		mRouteSeconds: opts.Metrics.Histogram("hub_route_seconds", metrics.LatencyBuckets()),
 	}
 	if opts.IdleTimeout > 0 {
@@ -319,15 +337,42 @@ const PreambleTimeout = 10 * time.Second
 
 // ServeConn reads the routing preamble from conn and routes it. It blocks
 // for the life of the connection; Serve runs it per accepted connection.
+// A TokenHome preamble routes by resume token: the hub finds the
+// resident home whose detach lot holds the session.
 func (h *Hub) ServeConn(conn net.Conn) error {
 	_ = conn.SetReadDeadline(time.Now().Add(PreambleTimeout))
-	id, err := ReadPreamble(conn)
+	id, token, err := ReadPreamble(conn)
 	if err != nil {
 		conn.Close()
 		return err
 	}
 	_ = conn.SetReadDeadline(time.Time{})
+	if id == TokenHome {
+		owner, ok := h.findByToken(token)
+		if !ok {
+			h.mTokenMisses.Inc()
+			h.mRejects.Inc()
+			conn.Close()
+			return fmt.Errorf("%w: no home holds session token", ErrUnknownHome)
+		}
+		h.mTokenRoutes.Inc()
+		id = owner
+	}
 	return h.Route(id, conn)
+}
+
+// findByToken scans resident homes for the one parking the session
+// token. O(resident homes), but only on the roam-back path — a
+// reconnecting device that knows its home ID never gets here.
+func (h *Hub) findByToken(token string) (string, bool) {
+	for i := range h.shards {
+		for id, e := range h.shards[i].snapshot() {
+			if p, ok := e.home.(SessionParker); ok && p.HasParked(token) {
+				return id, true
+			}
+		}
+	}
+	return "", false
 }
 
 // Serve accepts connections from ln until the listener closes.
@@ -341,9 +386,15 @@ func (h *Hub) Serve(ln net.Listener) error {
 	}
 }
 
-// Evict removes the home when it is resident and has no live
-// connections. It reports whether an eviction happened. The home's Close
-// runs outside the shard lock.
+// Evict removes the home when it is resident, has no live connections
+// and parks no disconnected sessions. It reports whether an eviction
+// happened. The home's Close runs outside the shard lock.
+//
+// The parked check is race-free against a resume claim: a session's
+// parked count only drops during a routed connection's handshake, and
+// Route pins the refcount before the handshake starts — so an eviction
+// observing refs == 0 sees every completed park, and any in-flight
+// resume still shows up as either a pin or a parked session.
 func (h *Hub) Evict(id string) bool {
 	sh := h.shardFor(id)
 	sh.mu.Lock()
@@ -358,6 +409,15 @@ func (h *Hub) Evict(id string) bool {
 	if e.refs.Load() > 0 {
 		e.evicted.Store(false)
 		sh.mu.Unlock()
+		return false
+	}
+	if p, ok := e.home.(SessionParker); ok && p.Parked() > 0 {
+		// Park-aware: a home with a detached session waiting for its
+		// roaming owner is not idle. The lot's TTL empties it eventually,
+		// after which eviction proceeds.
+		e.evicted.Store(false)
+		sh.mu.Unlock()
+		h.mParkSkips.Inc()
 		return false
 	}
 	sh.publish(id, nil)

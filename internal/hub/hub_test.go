@@ -252,16 +252,16 @@ func TestPreambleRoundTrip(t *testing.T) {
 	if err := WritePreamble(&sb, "kitchen-home"); err != nil {
 		t.Fatal(err)
 	}
-	id, err := ReadPreamble(strings.NewReader(sb.String()))
+	id, token, err := ReadPreamble(strings.NewReader(sb.String()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id != "kitchen-home" {
-		t.Fatalf("round trip = %q", id)
+	if id != "kitchen-home" || token != "" {
+		t.Fatalf("round trip = %q token %q", id, token)
 	}
 	// The reader must not consume past the newline.
 	r := strings.NewReader(sb.String() + "PROTO")
-	if _, err := ReadPreamble(r); err != nil {
+	if _, _, err := ReadPreamble(r); err != nil {
 		t.Fatal(err)
 	}
 	rest := make([]byte, 5)
@@ -273,6 +273,41 @@ func TestPreambleRoundTrip(t *testing.T) {
 	}
 	if err := WritePreamble(&sb, ""); err == nil {
 		t.Fatal("empty home id must be rejected")
+	}
+}
+
+func TestPreambleTokenRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePreambleToken(&sb, "home-7", "deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	id, token, err := ReadPreamble(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "home-7" || token != "deadbeef" {
+		t.Fatalf("round trip = %q token %q", id, token)
+	}
+	// Token routing wildcard.
+	sb.Reset()
+	if err := WritePreambleToken(&sb, TokenHome, "deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	if id, token, err = ReadPreamble(strings.NewReader(sb.String())); err != nil || id != TokenHome || token != "deadbeef" {
+		t.Fatalf("token-route round trip = %q %q %v", id, token, err)
+	}
+	// Malformed variants.
+	if err := WritePreambleToken(&sb, TokenHome, ""); err == nil {
+		t.Fatal("token routing without a token must be rejected")
+	}
+	if err := WritePreambleToken(&sb, "home-7", "has space"); err == nil {
+		t.Fatal("token with space must be rejected")
+	}
+	if _, _, err := ReadPreamble(strings.NewReader("UNIHUB/1 home-7 a b\n")); err == nil {
+		t.Fatal("two token fields must be rejected")
+	}
+	if _, _, err := ReadPreamble(strings.NewReader("UNIHUB/1 ~\n")); err == nil {
+		t.Fatal("bare token-route wildcard must be rejected")
 	}
 }
 
@@ -501,5 +536,183 @@ func TestFactoryErrorPropagates(t *testing.T) {
 	}
 	if h.Homes() != 0 {
 		t.Fatal("failed admission left a resident home")
+	}
+}
+
+// parkingHome is a stubHome that also implements SessionParker: a
+// controllable detach lot for eviction tests.
+type parkingHome struct {
+	stubHome
+	parked atomic.Int64
+	token  atomic.Value // string
+}
+
+func (p *parkingHome) Parked() int { return int(p.parked.Load()) }
+
+func (p *parkingHome) HasParked(token string) bool {
+	if p.parked.Load() == 0 {
+		return false
+	}
+	t, _ := p.token.Load().(string)
+	return t == token
+}
+
+// claim simulates a resume: the parked session leaves the lot for a live
+// connection.
+func (p *parkingHome) claim() bool {
+	return p.parked.CompareAndSwap(1, 0)
+}
+
+func TestEvictSkipsParkedHome(t *testing.T) {
+	reg := metrics.NewRegistry()
+	home := &parkingHome{}
+	h, err := New(Options{Metrics: reg, Factory: func(id string) (Home, error) { return home, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Admit("parked-home"); err != nil {
+		t.Fatal(err)
+	}
+
+	home.parked.Store(1)
+	if h.Evict("parked-home") {
+		t.Fatal("evicted a home with a parked session")
+	}
+	if home.closed.Load() {
+		t.Fatal("park-skipped home must stay open")
+	}
+	if got := reg.Counter("hub_evictions_skipped_parked_total").Value(); got != 1 {
+		t.Fatalf("skip counter = %d, want 1", got)
+	}
+
+	home.parked.Store(0)
+	if !h.Evict("parked-home") {
+		t.Fatal("empty-lot home should evict")
+	}
+}
+
+// TestEvictionRacingResumeClaim hammers Evict against connections that
+// claim the parked session (the resume path): whatever interleaving the
+// scheduler produces, the home is never evicted while the session is
+// parked or its claimant is being served — the claim either lands on the
+// resident home or the connection routes to a re-admitted one.
+func TestEvictionRacingResumeClaim(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		reg := metrics.NewRegistry()
+		var mu sync.Mutex
+		var homes []*parkingHome
+		h, err := New(Options{Metrics: reg, Factory: func(id string) (Home, error) {
+			ph := &parkingHome{}
+			mu.Lock()
+			homes = append(homes, ph)
+			mu.Unlock()
+			return ph, nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Admit("race-home"); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		first := homes[0]
+		mu.Unlock()
+		first.parked.Store(1)
+
+		evictDone := make(chan bool, 1)
+		go func() {
+			// Sweep-style eviction pressure.
+			ok := false
+			for i := 0; i < 100 && !ok; i++ {
+				ok = h.Evict("race-home")
+			}
+			evictDone <- ok
+		}()
+
+		// The resume claim: route a connection that claims the parked
+		// session during "handshake" (inside HandleConn).
+		sc, cc := net.Pipe()
+		routeDone := make(chan error, 1)
+		go func() { routeDone <- h.Route("race-home", sc) }()
+		go func() {
+			buf := make([]byte, 1)
+			cc.Write([]byte{1})
+			cc.Read(buf)
+			cc.Close()
+		}()
+		<-routeDone
+		<-evictDone
+
+		// Invariant: the claimant was served by a live home — the echo
+		// completed (Route returned after HandleConn) and whichever home
+		// served it was not closed underneath the connection.
+		mu.Lock()
+		served := int64(0)
+		for _, ph := range homes {
+			served += ph.served.Load()
+		}
+		mu.Unlock()
+		if served != 1 {
+			t.Fatalf("round %d: claimant served %d times, want 1", round, served)
+		}
+		h.Close()
+	}
+}
+
+func TestTokenRoutingFindsParkingHome(t *testing.T) {
+	reg := metrics.NewRegistry()
+	homes := map[string]*parkingHome{}
+	h, err := New(Options{Metrics: reg, Factory: func(id string) (Home, error) {
+		ph := &parkingHome{}
+		homes[id] = ph
+		return ph, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for _, id := range []string{"home-a", "home-b", "home-c"} {
+		if _, err := h.Admit(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	homes["home-b"].parked.Store(1)
+	homes["home-b"].token.Store("tok-42")
+
+	// A TokenHome preamble lands on the home parking the session.
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- h.ServeConn(server) }()
+	if err := WritePreambleToken(client, TokenHome, "tok-42"); err != nil {
+		t.Fatal(err)
+	}
+	client.Write([]byte{9})
+	buf := make([]byte, 1)
+	if _, err := client.Read(buf); err != nil || buf[0] != 9 {
+		t.Fatalf("echo through token routing: %v %x", err, buf)
+	}
+	client.Close()
+	<-done
+	if got := homes["home-b"].served.Load(); got != 1 {
+		t.Fatalf("owner served %d, want 1", got)
+	}
+	if got := reg.Counter("hub_token_routes_total").Value(); got != 1 {
+		t.Fatalf("hub_token_routes_total = %d, want 1", got)
+	}
+
+	// An unknown token is rejected without admitting anything.
+	client2, server2 := net.Pipe()
+	done2 := make(chan error, 1)
+	go func() { done2 <- h.ServeConn(server2) }()
+	if err := WritePreambleToken(client2, TokenHome, "no-such"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done2; !errors.Is(err, ErrUnknownHome) {
+		t.Fatalf("unknown token: %v, want ErrUnknownHome", err)
+	}
+	client2.Close()
+	if got := reg.Counter("hub_token_route_misses_total").Value(); got != 1 {
+		t.Fatalf("hub_token_route_misses_total = %d, want 1", got)
 	}
 }

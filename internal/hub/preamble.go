@@ -13,16 +13,24 @@ import (
 // single line naming the home it wants,
 //
 //	UNIHUB/1 <home-id>\n
+//	UNIHUB/1 <home-id> <token>\n
 //
-// and the hub routes the connection to that home's stack. Everything
-// after the newline is the unmodified protocol, so the per-home servers
-// stay unchanged (the paper's "we need not modify existing servers"
-// claim survives multi-tenancy).
+// and the hub routes the connection to that home's stack. The optional
+// second field is the session resume token; a reconnecting device that
+// no longer knows (or trusts) its home ID may send TokenHome ("~") as
+// the home field, and the hub routes to whichever resident home holds
+// the parked session for that token. Everything after the newline is the
+// unmodified protocol, so the per-home servers stay unchanged (the
+// paper's "we need not modify existing servers" claim survives
+// multi-tenancy).
 const (
 	preambleMagic = "UNIHUB/1 "
 	// MaxPreambleLen bounds the preamble line, magic and newline
 	// included — a cheap defence against garbage connections.
 	MaxPreambleLen = 256
+	// TokenHome is the home-ID wildcard for token routing: "route me to
+	// the home that parked my session".
+	TokenHome = "~"
 )
 
 // ErrBadPreamble reports a malformed routing preamble.
@@ -30,52 +38,86 @@ var ErrBadPreamble = errors.New("hub: bad routing preamble")
 
 // WritePreamble sends the routing line for homeID on conn.
 func WritePreamble(conn io.Writer, homeID string) error {
+	return WritePreambleToken(conn, homeID, "")
+}
+
+// WritePreambleToken sends the routing line carrying a session resume
+// token. homeID may be TokenHome to route by token alone.
+func WritePreambleToken(conn io.Writer, homeID, token string) error {
 	if homeID == "" || strings.ContainsAny(homeID, " \n") {
 		return fmt.Errorf("%w: invalid home id %q", ErrBadPreamble, homeID)
 	}
-	line := preambleMagic + homeID + "\n"
+	if strings.ContainsAny(token, " \n") {
+		return fmt.Errorf("%w: invalid token %q", ErrBadPreamble, token)
+	}
+	if homeID == TokenHome && token == "" {
+		return fmt.Errorf("%w: token routing needs a token", ErrBadPreamble)
+	}
+	line := preambleMagic + homeID
+	if token != "" {
+		line += " " + token
+	}
+	line += "\n"
 	if len(line) > MaxPreambleLen {
-		return fmt.Errorf("%w: home id too long", ErrBadPreamble)
+		return fmt.Errorf("%w: preamble too long", ErrBadPreamble)
 	}
 	_, err := io.WriteString(conn, line)
 	return err
 }
 
 // ReadPreamble consumes the routing line from conn and returns the home
-// ID. It reads byte-at-a-time up to MaxPreambleLen so no protocol bytes
-// beyond the newline are buffered away from the home's server.
-func ReadPreamble(conn io.Reader) (string, error) {
+// ID and the resume token ("" when absent). It reads byte-at-a-time up
+// to MaxPreambleLen so no protocol bytes beyond the newline are buffered
+// away from the home's server.
+func ReadPreamble(conn io.Reader) (homeID, token string, err error) {
 	var line []byte
 	var b [1]byte
 	for len(line) < MaxPreambleLen {
 		if _, err := io.ReadFull(conn, b[:]); err != nil {
-			return "", fmt.Errorf("%w: %v", ErrBadPreamble, err)
+			return "", "", fmt.Errorf("%w: %v", ErrBadPreamble, err)
 		}
 		if b[0] == '\n' {
 			s := string(line)
 			if !strings.HasPrefix(s, preambleMagic) {
-				return "", fmt.Errorf("%w: missing magic", ErrBadPreamble)
+				return "", "", fmt.Errorf("%w: missing magic", ErrBadPreamble)
 			}
 			id := s[len(preambleMagic):]
-			if id == "" {
-				return "", fmt.Errorf("%w: empty home id", ErrBadPreamble)
+			if sp := strings.IndexByte(id, ' '); sp >= 0 {
+				id, token = id[:sp], id[sp+1:]
+				if token == "" || strings.ContainsRune(token, ' ') {
+					return "", "", fmt.Errorf("%w: malformed token field", ErrBadPreamble)
+				}
 			}
-			return id, nil
+			if id == "" {
+				return "", "", fmt.Errorf("%w: empty home id", ErrBadPreamble)
+			}
+			if id == TokenHome && token == "" {
+				return "", "", fmt.Errorf("%w: token routing needs a token", ErrBadPreamble)
+			}
+			return id, token, nil
 		}
 		line = append(line, b[0])
 	}
-	return "", fmt.Errorf("%w: line too long", ErrBadPreamble)
+	return "", "", fmt.Errorf("%w: line too long", ErrBadPreamble)
 }
 
 // DialHome connects to a hub at addr, sends the routing preamble for
 // homeID and returns the connection ready for the protocol handshake
 // (pass it to core.Dial).
 func DialHome(addr, homeID string) (net.Conn, error) {
+	return DialHomeToken(addr, homeID, "")
+}
+
+// DialHomeToken is DialHome carrying a session resume token (homeID may
+// be TokenHome to route by token alone). The connection is ready for the
+// protocol handshake — pass it to core.DialResume with the same token to
+// reclaim the parked session.
+func DialHomeToken(addr, homeID, token string) (net.Conn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	if err := WritePreamble(conn, homeID); err != nil {
+	if err := WritePreambleToken(conn, homeID, token); err != nil {
 		conn.Close()
 		return nil, err
 	}

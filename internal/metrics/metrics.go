@@ -163,6 +163,17 @@ func LatencyBuckets() []float64 {
 	return out
 }
 
+// DurationBuckets returns long-duration bounds in seconds: 1 ms to
+// ~17 min, doubling — sized for lifecycle spans (detach windows, drain
+// waits) rather than hot-path latencies.
+func DurationBuckets() []float64 {
+	out := make([]float64, 0, 21)
+	for v := 1e-3; v < 1024; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
 // SizeBuckets returns byte-size bounds: 64 B to 16 MB, quadrupling.
 func SizeBuckets() []float64 {
 	out := make([]float64, 0, 10)

@@ -49,7 +49,10 @@ type ClientConn struct {
 	rects   []gfx.Rect                // reusable per-update rect list
 	cr      countReader               // reusable byte-counting shim over br
 
-	name string
+	name      string
+	presented string // resume token offered in ClientInit
+	token     string // session token issued by the server
+	resumed   bool   // the server accepted the presented token
 
 	bytesSent     atomic.Int64
 	bytesReceived atomic.Int64
@@ -59,11 +62,23 @@ type ClientConn struct {
 // Dial performs the client side of the handshake over conn. On return the
 // shadow framebuffer is allocated with the server's geometry.
 func Dial(conn net.Conn) (*ClientConn, error) {
+	return DialResume(conn, "")
+}
+
+// DialResume is Dial presenting a resume token from a previous session:
+// a server with a parked session for the token reclaims it instead of
+// starting cold. Resumed reports the verdict; Token carries the session
+// token to present on the next reconnect. An empty token is a plain Dial.
+func DialResume(conn net.Conn, token string) (*ClientConn, error) {
+	if len(token) > MaxTokenLen {
+		return nil, fmt.Errorf("rfb: resume token of %d bytes: %w", len(token), ErrBadMessage)
+	}
 	c := &ClientConn{
-		conn:    conn,
-		br:      bufio.NewReaderSize(conn, 64<<10),
-		bw:      bufio.NewWriterSize(conn, 16<<10),
-		pfByGen: map[uint8]gfx.PixelFormat{0: gfx.PF32()},
+		conn:      conn,
+		br:        bufio.NewReaderSize(conn, 64<<10),
+		bw:        bufio.NewWriterSize(conn, 16<<10),
+		pfByGen:   map[uint8]gfx.PixelFormat{0: gfx.PF32()},
+		presented: token,
 	}
 	if err := c.handshake(); err != nil {
 		conn.Close()
@@ -93,8 +108,15 @@ func (c *ClientConn) handshake() error {
 	if sec != secNone {
 		return ErrBadSecurity
 	}
-	// ClientInit: request shared session.
+	// ClientInit: request shared session, then the resume-token
+	// extension (length-prefixed; zero length for a fresh session).
 	if err := writeU8(c.bw, 1); err != nil {
+		return err
+	}
+	if err := writeU8(c.bw, uint8(len(c.presented))); err != nil {
+		return err
+	}
+	if err := writeAll(c.bw, []byte(c.presented)); err != nil {
 		return err
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -123,14 +145,64 @@ func (c *ClientConn) handshake() error {
 	if _, err := io.ReadFull(c.br, name); err != nil {
 		return err
 	}
+	// ServerInit resume extension: the resumed verdict and the issued
+	// session token.
+	res, err := readU8(c.br)
+	if err != nil {
+		return fmt.Errorf("read resume verdict: %w", err)
+	}
+	tlen, err := readU8(c.br)
+	if err != nil {
+		return fmt.Errorf("read session token: %w", err)
+	}
+	var token []byte
+	if tlen > 0 {
+		token = make([]byte, tlen)
+		if _, err := io.ReadFull(c.br, token); err != nil {
+			return fmt.Errorf("read session token: %w", err)
+		}
+	}
 	c.fb = gfx.NewFramebuffer(int(w), int(h))
 	c.pfByGen[0] = pf
 	c.name = string(name)
+	c.resumed = res != 0
+	c.token = string(token)
 	return nil
 }
 
 // Name returns the desktop name announced by the server.
 func (c *ClientConn) Name() string { return c.name }
+
+// Token returns the session token the server issued during the
+// handshake; present it via DialResume on the next reconnect to reclaim
+// the parked session ("" when the server issues no tokens).
+func (c *ClientConn) Token() string { return c.token }
+
+// Resumed reports whether the server reclaimed a parked session for the
+// presented token. When true, the server retains the pre-disconnect
+// session state and will ship only damage accumulated while detached —
+// the client should keep its shadow framebuffer (AdoptShadow) instead of
+// demanding a full repaint.
+func (c *ClientConn) Resumed() bool { return c.resumed }
+
+// AdoptShadow copies the previous connection's shadow framebuffer into
+// this one, re-establishing the pre-disconnect pixels a resumed session
+// builds its incremental resync on. It reports whether the adoption
+// happened (geometries must match). prev must no longer be running.
+func (c *ClientConn) AdoptShadow(prev *ClientConn) bool {
+	if prev == nil || prev == c {
+		return false
+	}
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	prev.fmu.Lock()
+	defer prev.fmu.Unlock()
+	if prev.fb.W() != c.fb.W() || prev.fb.H() != c.fb.H() {
+		return false
+	}
+	copy(c.fb.Pix(), prev.fb.Pix())
+	return true
+}
 
 // Size returns the server framebuffer geometry.
 func (c *ClientConn) Size() (w, h int) {

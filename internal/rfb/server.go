@@ -26,6 +26,17 @@ type ServerHandler interface {
 	CutText(text string)
 }
 
+// TokenExchange resolves the resume token a connecting client presented
+// (empty for a fresh session) into the token the session will carry and
+// whether the connection reclaims a parked server-side session. It runs
+// during the handshake, between ClientInit and ServerInit, so the
+// resolution is visible to the client in the same round trip.
+type TokenExchange func(presented string) (issued string, resumed bool)
+
+// MaxTokenLen bounds the resume token carried in the handshake (one
+// length byte on the wire).
+const MaxTokenLen = 255
+
 // ServerConn is the server end of a universal interaction connection. It is
 // created after a successful handshake and serves exactly one proxy.
 //
@@ -50,6 +61,8 @@ type ServerConn struct {
 
 	width, height int
 	name          string
+	token         string // session token issued during the handshake
+	resumed       bool   // the client reclaimed a parked session
 
 	bytesSent     atomic.Int64
 	bytesReceived atomic.Int64
@@ -58,8 +71,17 @@ type ServerConn struct {
 
 // NewServerConn performs the server side of the handshake over conn and
 // returns a ready connection. width/height/name describe the served
-// desktop (the home appliance application's control panel surface).
+// desktop (the home appliance application's control panel surface). No
+// resume token is issued; session parking needs NewServerConnToken.
 func NewServerConn(conn net.Conn, width, height int, name string) (*ServerConn, error) {
+	return NewServerConnToken(conn, width, height, name, nil)
+}
+
+// NewServerConnToken is NewServerConn with a resume-token exchange: the
+// token the client presented in ClientInit is resolved through ex, and
+// the issued token plus the resumed verdict travel back in ServerInit. A
+// nil ex issues no token and never resumes.
+func NewServerConnToken(conn net.Conn, width, height int, name string, ex TokenExchange) (*ServerConn, error) {
 	s := &ServerConn{
 		conn:   conn,
 		br:     bufio.NewReaderSize(conn, 32<<10),
@@ -69,14 +91,14 @@ func NewServerConn(conn net.Conn, width, height int, name string) (*ServerConn, 
 		height: height,
 		name:   name,
 	}
-	if err := s.handshake(); err != nil {
+	if err := s.handshake(ex); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-func (s *ServerConn) handshake() error {
+func (s *ServerConn) handshake(ex TokenExchange) error {
 	// Version exchange.
 	if err := writeAll(s.bw, []byte(ProtocolVersion)); err != nil {
 		return fmt.Errorf("send version: %w", err)
@@ -98,9 +120,29 @@ func (s *ServerConn) handshake() error {
 	if err := s.bw.Flush(); err != nil {
 		return err
 	}
-	// ClientInit (shared flag, ignored).
+	// ClientInit (shared flag, ignored) plus the resume-token extension:
+	// a length-prefixed token the client carried over from a previous
+	// connection (zero length for a fresh session).
 	if _, err := readU8(s.br); err != nil {
 		return fmt.Errorf("read client init: %w", err)
+	}
+	tlen, err := readU8(s.br)
+	if err != nil {
+		return fmt.Errorf("read resume token: %w", err)
+	}
+	var presented string
+	if tlen > 0 {
+		tok := make([]byte, tlen)
+		if _, err := io.ReadFull(s.br, tok); err != nil {
+			return fmt.Errorf("read resume token: %w", err)
+		}
+		presented = string(tok)
+	}
+	if ex != nil {
+		s.token, s.resumed = ex(presented)
+		if len(s.token) > MaxTokenLen {
+			return fmt.Errorf("rfb: issued token of %d bytes: %w", len(s.token), ErrBadMessage)
+		}
 	}
 	// ServerInit.
 	if err := writeU16(s.bw, uint16(s.width)); err != nil {
@@ -118,8 +160,31 @@ func (s *ServerConn) handshake() error {
 	if err := writeAll(s.bw, []byte(s.name)); err != nil {
 		return err
 	}
+	// ServerInit resume extension: the resumed verdict plus the issued
+	// session token (zero length when no exchange is installed).
+	var resumed uint8
+	if s.resumed {
+		resumed = 1
+	}
+	if err := writeU8(s.bw, resumed); err != nil {
+		return err
+	}
+	if err := writeU8(s.bw, uint8(len(s.token))); err != nil {
+		return err
+	}
+	if err := writeAll(s.bw, []byte(s.token)); err != nil {
+		return err
+	}
 	return s.bw.Flush()
 }
+
+// Token returns the session token issued during the handshake ("" when
+// the connection was created without a token exchange).
+func (s *ServerConn) Token() string { return s.token }
+
+// Resumed reports whether the client reclaimed a parked session during
+// the handshake.
+func (s *ServerConn) Resumed() bool { return s.resumed }
 
 // PixelFormat returns the pixel format currently requested by the client.
 func (s *ServerConn) PixelFormat() gfx.PixelFormat {

@@ -139,6 +139,24 @@ func (q *inputQueue) evictMoveLocked() bool {
 	return true
 }
 
+// preload seeds the queue with events carried through a park window.
+// They were already counted into input_queued_total when they first
+// entered a queue, so only the depth gauge moves; they settle into
+// dispatched (on resume) or abandoned (at expiry) like any queued event.
+func (q *inputQueue) preload(events []inputEvent) {
+	if len(events) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if len(q.buf) == 0 {
+		q.buf = events
+	} else {
+		q.buf = append(events, q.buf...)
+	}
+	q.mu.Unlock()
+	mInputQueueDepth.Add(int64(len(events)))
+}
+
 // take drains the queue into recycled storage. Hand the batch back with
 // recycle once dispatched so the steady-state path stops allocating.
 func (q *inputQueue) take() []inputEvent {
@@ -178,15 +196,10 @@ func (q *inputQueue) depth() int {
 // block the protocol read loop (the input-side sibling of writeLoop).
 func (c *session) dispatchLoop() {
 	defer close(c.dispatchDone)
-	// Events still queued when the session dies are abandoned: count them
-	// and zero their depth contribution so the gauge cannot drift upward
-	// across disconnects. Serve has returned by the time quit closes, so
-	// no put races this final drain.
-	defer func() {
-		if batch := c.inq.take(); len(batch) > 0 {
-			mInputAbandoned.Add(int64(len(batch)))
-		}
-	}()
+	// Events still queued when the session dies are drained by HandleConn
+	// after this loop exits (Serve has returned by then, so no put races
+	// the final drain): they carry into the detach lot for replay on
+	// resume, or count as abandoned when parking is off.
 	for {
 		select {
 		case <-c.inKick:

@@ -1,0 +1,310 @@
+package uniserver
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"uniint/internal/gfx"
+	"uniint/internal/metrics"
+	"uniint/internal/rfb"
+	"uniint/internal/toolkit"
+)
+
+// rectRecorder captures the rectangles of every update.
+type rectRecorder struct {
+	mu      sync.Mutex
+	updates int
+	rects   []gfx.Rect
+}
+
+func (r *rectRecorder) Updated(rects []gfx.Rect) {
+	r.mu.Lock()
+	r.updates++
+	r.rects = append(r.rects, rects...)
+	r.mu.Unlock()
+}
+func (r *rectRecorder) Bell()          {}
+func (r *rectRecorder) CutText(string) {}
+
+func (r *rectRecorder) snapshot() (int, []gfx.Rect) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.updates, append([]gfx.Rect(nil), r.rects...)
+}
+
+// lotHarness is a server whose clients can disconnect and return.
+type lotHarness struct {
+	t       *testing.T
+	display *toolkit.Display
+	srv     *Server
+}
+
+func newLotHarness(t *testing.T, opts ...Option) *lotHarness {
+	t.Helper()
+	h := &lotHarness{t: t, display: toolkit.NewDisplay(160, 120)}
+	h.srv = New(h.display, "lot test", opts...)
+	t.Cleanup(h.srv.Close)
+	return h
+}
+
+// connect dials the server presenting token (may be ""), runs the read
+// loop into a fresh recorder, and returns the client.
+func (h *lotHarness) connect(token string) (*rfb.ClientConn, *rectRecorder) {
+	h.t.Helper()
+	sc, cc := net.Pipe()
+	go h.srv.HandleConn(sc)
+	client, err := rfb.DialResume(cc, token)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	rec := &rectRecorder{}
+	go client.Run(rec)
+	return client, rec
+}
+
+func counter(name string) int64 { return metrics.Default().Counter(name).Value() }
+func gauge(name string) int64   { return metrics.Default().Gauge(name).Value() }
+
+// TestParkAndResumeShipsOnlyDetachDamage is the heart of the detach lot:
+// a session that disconnects with an incremental request parked comes
+// back under its token and receives exactly the damage that accumulated
+// while it was away — without re-requesting, because the parked
+// update-request state machine survived the disconnect too.
+func TestParkAndResumeShipsOnlyDetachDamage(t *testing.T) {
+	h := newLotHarness(t)
+	lbl := toolkit.NewLabel("steady")
+	root := toolkit.NewPanel(toolkit.VBox{Gap: 2, Padding: 2})
+	root.Add(lbl)
+	h.display.SetRoot(root)
+
+	parked0 := counter("session_parked_total")
+	resumed0 := counter("session_resumed_total")
+
+	client, rec := h.connect("")
+	token := client.Token()
+	if token == "" {
+		t.Fatal("server issued no session token")
+	}
+	if client.Resumed() {
+		t.Fatal("fresh session must not report resumed")
+	}
+	// Sync up, then park an incremental request (no damage pending).
+	client.RequestUpdate(false, gfx.R(0, 0, 160, 120))
+	waitFor(t, "initial update", func() bool { u, _ := rec.snapshot(); return u >= 1 })
+	client.RequestUpdate(true, gfx.R(0, 0, 160, 120))
+	time.Sleep(10 * time.Millisecond) // let the request park
+
+	// The link dies; the session parks.
+	client.Close()
+	waitFor(t, "session parked", func() bool { return h.srv.Parked() == 1 })
+	if d := counter("session_parked_total") - parked0; d != 1 {
+		t.Fatalf("session_parked_total delta = %d, want 1", d)
+	}
+
+	// Detach-window damage: the label repaints while nobody is connected.
+	h.display.Update(func() { lbl.SetText("while away") })
+
+	// The owner returns. The parked request and the detach damage pair up
+	// during resume: the resync arrives with no new request from us.
+	client2, rec2 := h.connect(token)
+	defer client2.Close()
+	if !client2.Resumed() {
+		t.Fatal("reconnect with live token must resume")
+	}
+	if client2.Token() != token {
+		t.Fatalf("resumed session re-keyed: %q != %q", client2.Token(), token)
+	}
+	waitFor(t, "resync update", func() bool { u, _ := rec2.snapshot(); return u >= 1 })
+	_, rects := rec2.snapshot()
+	full := gfx.R(0, 0, 160, 120)
+	area := 0
+	for _, r := range rects {
+		area += r.Area()
+		if r == full {
+			t.Fatal("resync shipped a full-screen rect; wanted only detach damage")
+		}
+	}
+	if area == 0 || area >= full.Area()/2 {
+		t.Fatalf("resync area = %d px, want small non-zero (full screen = %d)", area, full.Area())
+	}
+	if d := counter("session_resumed_total") - resumed0; d != 1 {
+		t.Fatalf("session_resumed_total delta = %d, want 1", d)
+	}
+	if h.srv.Parked() != 0 {
+		t.Fatal("lot should be empty after resume")
+	}
+}
+
+// TestResumeMissFallsBackToFreshSession: an unknown token joins cold and
+// is counted as a miss, and the fresh session still works.
+func TestResumeMissFallsBackToFreshSession(t *testing.T) {
+	h := newLotHarness(t)
+	miss0 := counter("session_resume_miss_total")
+	client, rec := h.connect("no-such-token")
+	defer client.Close()
+	if client.Resumed() {
+		t.Fatal("unknown token must not resume")
+	}
+	if client.Token() == "" || client.Token() == "no-such-token" {
+		t.Fatalf("fresh token not issued: %q", client.Token())
+	}
+	if d := counter("session_resume_miss_total") - miss0; d != 1 {
+		t.Fatalf("session_resume_miss_total delta = %d, want 1", d)
+	}
+	client.RequestUpdate(false, gfx.R(0, 0, 160, 120))
+	waitFor(t, "fresh session serves", func() bool { u, _ := rec.snapshot(); return u >= 1 })
+}
+
+// TestParkTTLExpires: a parked session not reclaimed within the TTL is
+// expired by the lot janitor and a late resume misses.
+func TestParkTTLExpires(t *testing.T) {
+	h := newLotHarness(t, WithParkTTL(30*time.Millisecond))
+	expired0 := counter("session_expired_total")
+
+	client, _ := h.connect("")
+	token := client.Token()
+	client.Close()
+	waitFor(t, "session parked", func() bool { return h.srv.Parked() == 1 })
+	waitFor(t, "session expired", func() bool { return h.srv.Parked() == 0 })
+	if d := counter("session_expired_total") - expired0; d != 1 {
+		t.Fatalf("session_expired_total delta = %d, want 1", d)
+	}
+
+	client2, _ := h.connect(token)
+	defer client2.Close()
+	if client2.Resumed() {
+		t.Fatal("expired token must not resume")
+	}
+}
+
+// TestParkCapacityEvictsOldest: the lot is bounded; the oldest parked
+// session is expired to make room.
+func TestParkCapacityEvictsOldest(t *testing.T) {
+	h := newLotHarness(t, WithParkCapacity(2))
+	expired0 := counter("session_expired_total")
+
+	var tokens []string
+	for i := 0; i < 3; i++ {
+		client, _ := h.connect("")
+		tokens = append(tokens, client.Token())
+		client.Close()
+		waitFor(t, "session parked", func() bool { return h.srv.Parked() >= min(i+1, 2) })
+		time.Sleep(2 * time.Millisecond) // order parkedAt stamps
+	}
+	if h.srv.Parked() != 2 {
+		t.Fatalf("lot holds %d, want capacity 2", h.srv.Parked())
+	}
+	if d := counter("session_expired_total") - expired0; d != 1 {
+		t.Fatalf("session_expired_total delta = %d, want 1", d)
+	}
+	if h.srv.HasParked(tokens[0]) {
+		t.Fatal("oldest session should have been evicted")
+	}
+	if !h.srv.HasParked(tokens[1]) || !h.srv.HasParked(tokens[2]) {
+		t.Fatal("newer sessions should survive the capacity eviction")
+	}
+}
+
+// TestResumeReplaysQueuedInput: input events still undispatched at
+// disconnect ride through the park window and dispatch after resume —
+// zero lost semantic events.
+func TestResumeReplaysQueuedInput(t *testing.T) {
+	h := newLotHarness(t)
+	block := make(chan struct{})
+	unblock := sync.OnceFunc(func() { close(block) })
+	defer unblock()
+	entered := make(chan struct{}, 1)
+	clicks := 0
+	var clickMu sync.Mutex
+	btn := toolkit.NewButton("stall", func() {
+		clickMu.Lock()
+		clicks++
+		clickMu.Unlock()
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-block
+	})
+	root := toolkit.NewPanel(toolkit.VBox{Gap: 2, Padding: 2})
+	root.Add(btn)
+	h.display.SetRoot(root)
+	h.display.Render()
+
+	client, _ := h.connect("")
+	token := client.Token()
+
+	// First click stalls the dispatcher; the following presses sit in the
+	// queue when the link dies.
+	b := btn.Bounds()
+	client.SendPointer(rfb.PointerEvent{Buttons: 1, X: uint16(b.X + 2), Y: uint16(b.Y + 2)})
+	client.SendPointer(rfb.PointerEvent{Buttons: 0, X: uint16(b.X + 2), Y: uint16(b.Y + 2)})
+	<-entered
+	for i := 0; i < 3; i++ {
+		client.SendPointer(rfb.PointerEvent{Buttons: 1, X: uint16(b.X + 2), Y: uint16(b.Y + 2)})
+		client.SendPointer(rfb.PointerEvent{Buttons: 0, X: uint16(b.X + 2), Y: uint16(b.Y + 2)})
+	}
+	waitFor(t, "events queued", func() bool { return gauge("input_queue_depth") > 0 })
+
+	// Kill the link with the queue loaded, then lift the stall: quit is
+	// already signalled, so the dispatcher finishes only its in-flight
+	// batch and the rest of the queue parks with the session.
+	client.Close()
+	unblock()
+	waitFor(t, "session parked", func() bool { return h.srv.Parked() == 1 })
+
+	// Resume: the parked events must dispatch on the revived session.
+	client2, _ := h.connect(token)
+	defer client2.Close()
+	if !client2.Resumed() {
+		t.Fatal("resume failed")
+	}
+	waitFor(t, "replayed clicks", func() bool {
+		clickMu.Lock()
+		defer clickMu.Unlock()
+		return clicks == 4
+	})
+}
+
+// TestGeometryChangeWhileParkedMisses: a display resize invalidates the
+// parked session (the client's kept shadow no longer matches) — the
+// reconnect joins cold instead of resuming into the wrong geometry.
+func TestGeometryChangeWhileParkedMisses(t *testing.T) {
+	h := newLotHarness(t)
+	client, _ := h.connect("")
+	token := client.Token()
+	client.Close()
+	waitFor(t, "session parked", func() bool { return h.srv.Parked() == 1 })
+
+	h.display.Resize(200, 150)
+	client2, _ := h.connect(token)
+	defer client2.Close()
+	if client2.Resumed() {
+		t.Fatal("resume across a geometry change must miss")
+	}
+	if w, h2 := client2.Size(); w != 200 || h2 != 150 {
+		t.Fatalf("fresh session geometry = %dx%d", w, h2)
+	}
+	if h.srv.Parked() != 0 {
+		t.Fatal("stale parked session should be gone")
+	}
+}
+
+// TestCloseDrainsLot: server shutdown expires everything parked and
+// zeroes the gauge.
+func TestCloseDrainsLot(t *testing.T) {
+	h := newLotHarness(t)
+	g0 := gauge("session_parked")
+	client, _ := h.connect("")
+	client.Close()
+	waitFor(t, "session parked", func() bool { return h.srv.Parked() == 1 })
+	h.srv.Close()
+	if h.srv.Parked() != 0 {
+		t.Fatal("lot not drained on close")
+	}
+	if g := gauge("session_parked"); g != g0 {
+		t.Fatalf("session_parked gauge = %d, want %d", g, g0)
+	}
+}

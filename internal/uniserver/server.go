@@ -53,15 +53,53 @@ type Server struct {
 	pumpMu   sync.Mutex
 	pumpBuf  []gfx.Rect
 	pumpSess []*session
+
+	// The detach lot (lot.go): disconnected sessions parked under their
+	// resume token, waiting out parkTTL for the owner to return.
+	parkTTL    time.Duration
+	parkCap    int
+	lotMu      sync.Mutex
+	lot        map[string]*parkedSession
+	lotTimer   *time.Timer
+	lotSweepAt time.Time
+}
+
+// HandshakeTimeout bounds the protocol handshake, so a stalled peer can
+// neither park a handler goroutine forever nor pin a claimed detach-lot
+// entry past reclaim.
+const HandshakeTimeout = 10 * time.Second
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithParkTTL sets how long a disconnected session stays reclaimable in
+// the detach lot (default DefaultParkTTL; <= 0 disables parking and every
+// disconnect tears the session down, the pre-resilience behaviour).
+func WithParkTTL(d time.Duration) Option {
+	return func(s *Server) { s.parkTTL = d }
+}
+
+// WithParkCapacity bounds the detach lot (default DefaultParkCapacity;
+// at capacity the oldest parked session is expired to make room).
+func WithParkCapacity(n int) Option {
+	return func(s *Server) { s.parkCap = n }
 }
 
 // New creates a server for the given display. name is announced to
 // clients during the handshake.
-func New(display *toolkit.Display, name string) *Server {
+func New(display *toolkit.Display, name string, opts ...Option) *Server {
 	s := &Server{
 		display:  display,
 		name:     name,
 		sessions: make(map[*session]struct{}),
+		parkTTL:  DefaultParkTTL,
+		parkCap:  DefaultParkCapacity,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.parkCap < 1 {
+		s.parkTTL = 0
 	}
 	display.OnDamage(s.pump)
 	return s
@@ -73,15 +111,45 @@ func (s *Server) Display() *toolkit.Display { return s.display }
 // HandleConn performs the protocol handshake on conn and serves it until
 // the peer disconnects. It blocks; callers typically run it on its own
 // goroutine (Serve does).
+//
+// A client presenting a live resume token reclaims its parked session
+// during the handshake: the preserved damage, update-request state and
+// input queue carry over, so the resync ships only what changed while the
+// link was down. On disconnect the session parks in the detach lot
+// (unless parking is disabled or the server is closing).
 func (s *Server) HandleConn(conn net.Conn) error {
 	w, h := s.display.Size()
-	rc, err := rfb.NewServerConn(conn, w, h, s.name)
+	var reclaimed *parkedSession
+	ex := func(presented string) (string, bool) {
+		if s.parkTTL > 0 && presented != "" {
+			if ps := s.claimParked(presented, w, h); ps != nil {
+				reclaimed = ps
+				return presented, true
+			}
+			mSessResumeMiss.Inc()
+		}
+		return newSessionToken(), false
+	}
+	// The handshake is bounded: a peer that stalls mid-handshake (after
+	// presenting a resume token, say) must fail within the deadline so
+	// its claim releases and the parked session stays reclaimable —
+	// unbounded, a half-open link would hold the claim forever (the lot
+	// janitor skips claimed entries).
+	_ = conn.SetDeadline(time.Now().Add(HandshakeTimeout))
+	rc, err := rfb.NewServerConnToken(conn, w, h, s.name, ex)
 	if err != nil {
+		if reclaimed != nil {
+			// Claimed during the handshake, but the handshake failed to
+			// complete: the session goes back to waiting in the lot.
+			s.releaseClaim(reclaimed)
+		}
 		return err
 	}
+	_ = conn.SetDeadline(time.Time{})
 	sess := &session{
 		srv:          s,
 		conn:         rc,
+		token:        rc.Token(),
 		dirty:        gfx.NewDamage(gfx.R(0, 0, w, h), 16),
 		outbox:       gfx.NewDamage(gfx.R(0, 0, w, h), 16),
 		bounds:       gfx.R(0, 0, w, h),
@@ -91,28 +159,42 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		writerDone:   make(chan struct{}),
 		dispatchDone: make(chan struct{}),
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	// register atomically swaps a reclaimed lot entry into the live
+	// session set (under the pump mutex, so no damage falls between the
+	// lot and the session) and adopts its state.
+	resumed := reclaimed != nil
+	if !s.register(sess, reclaimed) {
 		rc.Close()
 		return errors.New("uniserver: server closed")
 	}
-	s.sessions[sess] = struct{}{}
-	s.mu.Unlock()
 	mSessions.Inc()
 
 	go sess.writeLoop()
 	go sess.dispatchLoop()
+	if resumed {
+		// Reclaimed state may already have work: a parked request plus
+		// detach-window damage ships the resync without waiting for the
+		// client's first request, and replayed input events dispatch now.
+		sess.satisfyParkedRequest()
+		sess.wake()
+		sess.wakeDispatch()
+	}
 	err = rc.Serve(sess)
 
-	s.mu.Lock()
-	delete(s.sessions, sess)
-	s.mu.Unlock()
 	mSessions.Dec()
 	rc.Close()
 	close(sess.quit)
 	<-sess.writerDone
 	<-sess.dispatchDone
+	// The goroutines are dead: retire the session — one atomic step that
+	// removes it from the pump set and parks the remaining state for a
+	// reconnect (or settles the accounting when parking is off). Damage
+	// pumped until that step still lands on the session and carries into
+	// the lot with it.
+	leftovers := sess.inq.take()
+	if !s.retire(sess, leftovers) && len(leftovers) > 0 {
+		mInputAbandoned.Add(int64(len(leftovers)))
+	}
 	return err
 }
 
@@ -144,6 +226,7 @@ func (s *Server) Close() {
 		sess.conn.Close()
 	}
 	s.wg.Wait()
+	s.drainLot()
 }
 
 // Sessions returns the number of connected proxies.
@@ -176,6 +259,9 @@ func (s *Server) pump() {
 		sess.addDirty(rects)
 	}
 	s.pumpSess = sessions
+	// Parked sessions accumulate the same damage: it is exactly what the
+	// incremental resync ships when their owner reconnects.
+	s.addParkedDamage(rects)
 }
 
 // session is one proxy connection: per-client dirty tracking plus the
@@ -197,6 +283,7 @@ func (s *Server) pump() {
 type session struct {
 	srv    *Server
 	conn   *rfb.ServerConn
+	token  string // resume token; keys the detach lot on disconnect
 	bounds gfx.Rect
 
 	kick         chan struct{} // cap 1: work available for the writer
@@ -378,8 +465,16 @@ func (c *session) flush(rects []gfx.Rect) {
 	size := prep.Size()
 	if err := c.conn.SendPrepared(prep); err != nil {
 		// Transport failure: the read loop will observe it and tear the
-		// session down.
+		// session down. The pixels were consumed from the dirty set but
+		// never reached the client — put them back, so the state that
+		// parks in the detach lot is complete and the resync after a
+		// resume re-covers them instead of leaving the client stale.
 		mUpdateDrops.Inc()
+		c.mu.Lock()
+		for _, r := range rects {
+			c.dirty.Add(r)
+		}
+		c.mu.Unlock()
 		return
 	}
 	mUpdatesSent.Inc()
@@ -515,6 +610,29 @@ func (c *session) recycleDirty(rects []gfx.Rect) {
 		c.dirtySpare = rects
 	}
 	c.mu.Unlock()
+}
+
+// satisfyParkedRequest runs the pending-request satisfaction step for a
+// freshly resumed session: a request parked before the disconnect plus
+// damage accumulated while detached is a pairing addDirty normally
+// resolves on arrival, but here both halves arrive together out of the
+// lot.
+func (c *session) satisfyParkedRequest() {
+	c.mu.Lock()
+	if !c.hasPending || c.dirty.Empty() {
+		c.mu.Unlock()
+		return
+	}
+	out := c.drainDirtyLocked(c.pending.Region)
+	if len(out) == 0 {
+		c.mu.Unlock()
+		c.recycleDirty(out)
+		return
+	}
+	c.hasPending = false
+	c.mu.Unlock()
+	c.enqueue(out)
+	c.recycleDirty(out)
 }
 
 // addDirty accumulates fresh damage and satisfies a parked request.

@@ -34,10 +34,10 @@ func (r *recorder) Bell()          {}
 func (r *recorder) CutText(string) {}
 
 // wire builds display+server+connected client.
-func wire(t *testing.T) (*toolkit.Display, *Server, *rfb.ClientConn, *recorder) {
+func wire(t *testing.T, opts ...Option) (*toolkit.Display, *Server, *rfb.ClientConn, *recorder) {
 	t.Helper()
 	display := toolkit.NewDisplay(160, 120)
-	srv := New(display, "test session")
+	srv := New(display, "test session", opts...)
 
 	sc, cc := net.Pipe()
 	serveErr := make(chan error, 1)

@@ -1,0 +1,243 @@
+package uniint
+
+// Session-resilience end-to-end test (ISSUE 5 acceptance): a seeded run
+// drops the link mid-interaction, the supervisor reconnects with the
+// resume token, and the revived session receives only the damage
+// accumulated while detached — finishing byte-identical to an
+// uninterrupted control run, with zero lost (or duplicated) semantic
+// input events.
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"uniint/internal/core"
+	"uniint/internal/device"
+	"uniint/internal/gfx"
+	"uniint/internal/metrics"
+	"uniint/internal/netsim"
+	"uniint/internal/toolkit"
+	"uniint/internal/uniserver"
+)
+
+// resumeStack is a droppable supervised session over a control panel
+// whose state is a deterministic function of the confirmed click count.
+type resumeStack struct {
+	t       *testing.T
+	display *toolkit.Display
+	srv     *uniserver.Server
+	lbl     *toolkit.Label
+	clicks  func() int
+
+	mu   sync.Mutex
+	link *netsim.Conn
+
+	sup   *core.Supervisor
+	phone *device.Phone
+}
+
+func newResumeStack(t *testing.T) *resumeStack {
+	t.Helper()
+	st := &resumeStack{t: t, display: toolkit.NewDisplay(320, 240)}
+	st.srv = uniserver.New(st.display, "resume-e2e")
+	t.Cleanup(st.srv.Close)
+
+	var mu sync.Mutex
+	clicks := 0
+	btn := toolkit.NewButton("Toggle", func() { mu.Lock(); clicks++; mu.Unlock() })
+	st.clicks = func() int { mu.Lock(); defer mu.Unlock(); return clicks }
+	st.lbl = toolkit.NewLabel("count 000")
+	root := toolkit.NewPanel(toolkit.VBox{Gap: 4, Padding: 4})
+	root.Add(btn)
+	root.Add(st.lbl)
+	st.display.SetRoot(root)
+	st.display.Render()
+
+	dial := func() (net.Conn, error) {
+		sc, cc := net.Pipe()
+		go st.srv.HandleConn(sc)
+		link := netsim.Wrap(cc)
+		st.mu.Lock()
+		st.link = link
+		st.mu.Unlock()
+		return link, nil
+	}
+	sup, err := core.NewSupervisor(dial, core.WithBackoff(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+	st.sup = sup
+	st.phone = device.NewPhone("phone-1")
+	t.Cleanup(st.phone.Close)
+	if err := sup.AttachInput(st.phone); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.AttachOutput(device.NewTVDisplay("tv-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.SelectInput("phone-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.SelectOutput("tv-1"); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func (st *resumeStack) dropLink() {
+	st.mu.Lock()
+	link := st.link
+	st.mu.Unlock()
+	link.DropLink()
+}
+
+// settle waits for protocol quiescence on the current connection: the
+// byte counter must hold still across several polls (a single quiet poll
+// is not quiescence when the peer is mid-render under -race).
+func (st *resumeStack) settle() {
+	prev, stable := int64(-1), 0
+	for stable < 3 {
+		cur := st.sup.Proxy().Client().BytesReceived()
+		if cur == prev {
+			stable++
+		} else {
+			stable = 0
+			prev = cur
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+}
+
+// awaitTraffic blocks until the current connection has received at least
+// one update, so a following settle measures a completed exchange rather
+// than one that has not started.
+func (st *resumeStack) awaitTraffic() {
+	waitCond(st.t, "update traffic", func() bool {
+		return st.sup.Proxy().Client().UpdatesReceived() >= 1
+	})
+}
+
+// press delivers one confirmed semantic interaction: a phone "ok" that
+// must land as exactly one click, with the label repainted to the new
+// count. Retries cover presses swallowed by a dying link; the exact-count
+// assertion at the end catches any duplication.
+func (st *resumeStack) press(n int) {
+	st.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.clicks() < n {
+		st.phone.PressKey("ok")
+		for i := 0; i < 20 && st.clicks() < n; i++ {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if time.Now().After(deadline) {
+			st.t.Fatalf("click %d never landed", n)
+		}
+	}
+	st.display.Update(func() { st.lbl.SetText(labelFor(st.clicks())) })
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func labelFor(n int) string {
+	return "count " + string([]byte{byte('0' + n/100%10), byte('0' + n/10%10), byte('0' + n%10)})
+}
+
+func (st *resumeStack) shadow() *gfx.Framebuffer {
+	return st.sup.Proxy().Client().Snapshot(gfx.R(0, 0, 320, 240))
+}
+
+func TestResumeShipsOnlyDetachDamageByteIdentical(t *testing.T) {
+	const seed, presses = 20260726, 24
+	rng := rand.New(rand.NewSource(seed))
+	dropAt := presses/4 + rng.Intn(presses/2) // mid-interaction, seeded
+
+	counters := metrics.Default()
+	parked0 := counters.Counter("session_parked_total").Value()
+	resumed0 := counters.Counter("session_resumed_total").Value()
+
+	// Control run: the same interactions, the same mid-session label
+	// mutation, no failure.
+	control := newResumeStack(t)
+	control.awaitTraffic()
+	control.settle()
+	for i := 1; i <= presses; i++ {
+		control.press(i)
+		if i == dropAt {
+			control.settle()
+			control.display.Update(func() { control.lbl.SetText("away message") })
+		}
+	}
+	control.settle()
+	controlShadow := control.shadow()
+
+	// Faulted run: the link dies after the seeded interaction, the
+	// server-side state mutates while nobody is connected, and the
+	// session resumes.
+	st := newResumeStack(t)
+	st.awaitTraffic()
+	st.settle()
+	initialBytes := st.sup.Proxy().Client().BytesReceived() // cold join: full paint
+	for i := 1; i <= dropAt; i++ {
+		st.press(i)
+	}
+	st.settle()
+	st.dropLink()
+	// Detach-window damage: the label changes while nobody is connected
+	// (the supervisor is still inside its redial backoff).
+	st.display.Update(func() { st.lbl.SetText("away message") })
+	waitCond(t, "reconnect", func() bool { return st.sup.Reconnects() == 1 })
+	if got := st.sup.Resumes(); got != 1 {
+		t.Fatalf("Resumes() = %d, want 1", got)
+	}
+	st.awaitTraffic() // the resync for the detach-window damage
+	st.settle()
+
+	// The resumed connection shipped an incremental resync of the
+	// detach-window damage, not a full repaint: its traffic stays well
+	// under the cold join's initial full paint.
+	resyncBytes := st.sup.Proxy().Client().BytesReceived()
+	if resyncBytes >= initialBytes/2 {
+		t.Errorf("resync received %d bytes; cold join full paint was %d — looks like a full repaint",
+			resyncBytes, initialBytes)
+	}
+
+	for i := dropAt + 1; i <= presses; i++ {
+		st.press(i)
+	}
+	st.settle()
+
+	// Zero lost, zero duplicated semantic input events.
+	if got := st.clicks(); got != presses {
+		t.Fatalf("clicks = %d, want exactly %d", got, presses)
+	}
+
+	// Byte-identical outcome: shadow matches the live display, and the
+	// faulted run matches the uninterrupted control run pixel for pixel.
+	full := gfx.R(0, 0, 320, 240)
+	if !st.shadow().Equal(st.display.Snapshot(full)) {
+		t.Error("resumed shadow framebuffer diverged from the display")
+	}
+	if !st.shadow().Equal(controlShadow) {
+		t.Error("faulted run not byte-identical to uninterrupted control run")
+	}
+
+	if d := counters.Counter("session_parked_total").Value() - parked0; d < 1 {
+		t.Errorf("session_parked_total delta = %d, want >= 1", d)
+	}
+	if d := counters.Counter("session_resumed_total").Value() - resumed0; d < 1 {
+		t.Errorf("session_resumed_total delta = %d, want >= 1", d)
+	}
+}

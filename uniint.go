@@ -188,6 +188,15 @@ func (s *HubSession) HandleConn(conn net.Conn) error {
 	return s.Server.HandleConn(conn)
 }
 
+// Parked implements hub.SessionParker: the number of disconnected
+// sessions waiting in this home's detach lot. The hub's idle eviction
+// consults it so a home is not torn down under a roaming user.
+func (s *HubSession) Parked() int { return s.Server.Parked() }
+
+// HasParked implements hub.SessionParker: whether this home's detach lot
+// holds a live session for token (the hub's token-routing probe).
+func (s *HubSession) HasParked(token string) bool { return s.Server.HasParked(token) }
+
 // Close tears the stack down in dependency order. Live connections are
 // disconnected by the server shutdown.
 func (s *HubSession) Close() {
