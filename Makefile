@@ -20,7 +20,7 @@ BENCHTIME  ?= 100x
 # time is small. The Input* set pins the batched/coalesced input pipeline
 # at zero allocations per event end to end (wire write, read loop, queue,
 # dispatch).
-GATE_BENCH_MICRO ?= BenchmarkRenderWidget|BenchmarkRenderText|BenchmarkE2bRender|BenchmarkInputBatch|BenchmarkInputCoalesce|BenchmarkInputFlood|BenchmarkE2bInput
+GATE_BENCH_MICRO ?= BenchmarkRenderWidget|BenchmarkRenderText|BenchmarkE2bRender|BenchmarkInputBatch|BenchmarkInputCoalesce|BenchmarkInputFlood|BenchmarkE2bInput|BenchmarkTraceOverhead
 BENCHTIME_MICRO  ?= 10000x
 # ns/op headroom: generous because wall time shifts with hardware, still
 # far under the 2x-regression class the gate exists to catch. allocs/op is
@@ -33,7 +33,7 @@ NS_TOL     ?= 0.75
 # is a reviewed change, like the benchmark baseline.
 COVER_MIN ?= 70
 
-.PHONY: all build test vet race fmt-check cover cover-gate soak bench bench-out bench-gate bench-baseline profile
+.PHONY: all build test vet race fmt-check cover cover-gate soak bench bench-out bench-gate bench-baseline profile obslint trace-demo
 
 all: build test
 
@@ -54,6 +54,18 @@ soak:
 
 build:
 	$(GO) build ./...
+
+# obslint enforces the observability naming contract (snake_case metric
+# names, _total counters, _seconds histograms, snake_case trace stages).
+# CI runs it in the staticcheck job.
+obslint:
+	$(GO) run ./cmd/obslint .
+
+# trace-demo records a fully-sampled interaction workload and writes
+# trace.json — drop it into chrome://tracing or ui.perfetto.dev to see
+# per-stage spans from device event to pixels on the wire.
+trace-demo:
+	$(GO) run ./cmd/unibench -trace-demo trace.json
 
 test:
 	$(GO) test ./...

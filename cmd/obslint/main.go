@@ -1,0 +1,141 @@
+// Command obslint enforces the observability naming contract across the
+// tree: every metric registered through internal/metrics must be
+// snake_case, counters must end in _total, histograms in _seconds, and
+// every trace stage name must be snake_case. The rules are the Prometheus
+// naming conventions the exposition endpoint promises; drift breaks
+// dashboards silently, so CI runs this lint alongside staticcheck.
+//
+//	obslint [dir ...]    # defaults to the current directory tree
+//
+// Test files are exempt (they register throwaway names on private
+// registries); generated and vendored trees are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"uniint/internal/trace"
+)
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := 0
+	for _, root := range roots {
+		if err := lintTree(root, &bad); err != nil {
+			fmt.Fprintln(os.Stderr, "obslint:", err)
+			os.Exit(2)
+		}
+	}
+	bad += lintStageNames()
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "obslint: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func lintTree(root string, bad *int) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "vendor" || name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		*bad += lintFile(path)
+		return nil
+	})
+}
+
+// lintFile reports naming violations in one source file: any call of the
+// form <expr>.Counter("name")/Gauge("name")/Histogram("name", ...) with a
+// literal name is checked against the contract.
+func lintFile(path string) int {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obslint: %s: %v\n", path, err)
+		return 1
+	}
+	bad := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind := sel.Sel.Name
+		if kind != "Counter" && kind != "Gauge" && kind != "Histogram" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		for _, msg := range checkMetric(kind, name) {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(lit.Pos()), msg)
+			bad++
+		}
+		return true
+	})
+	return bad
+}
+
+func checkMetric(kind, name string) []string {
+	var msgs []string
+	if !snakeCase.MatchString(name) {
+		msgs = append(msgs, fmt.Sprintf("metric %q is not snake_case", name))
+	}
+	switch kind {
+	case "Counter":
+		if !strings.HasSuffix(name, "_total") {
+			msgs = append(msgs, fmt.Sprintf("counter %q must end in _total", name))
+		}
+	case "Histogram":
+		if !strings.HasSuffix(name, "_seconds") {
+			msgs = append(msgs, fmt.Sprintf("histogram %q must end in _seconds (base-unit rule)", name))
+		}
+	}
+	return msgs
+}
+
+// lintStageNames checks the trace stage vocabulary itself — the span
+// names exported to Chrome trace JSON follow the same snake_case rule as
+// metric names so the two surfaces cross-reference cleanly.
+func lintStageNames() int {
+	bad := 0
+	for _, name := range trace.StageNames() {
+		if !snakeCase.MatchString(name) {
+			fmt.Fprintf(os.Stderr, "trace stage %q is not snake_case\n", name)
+			bad++
+		}
+	}
+	return bad
+}

@@ -34,10 +34,19 @@ func main() {
 	quick := flag.Bool("quick", false, "fewer repetitions")
 	jsonOut := flag.Bool("json", false,
 		"emit the measurement snapshot as JSON in the BENCH_BASELINE.json schema on stdout (tables go to stderr)")
+	traceDemoOut := flag.String("trace-demo", "",
+		"skip the suite; run a fully-traced interaction workload and write Chrome trace_event JSON to this file (open in chrome://tracing or ui.perfetto.dev)")
 	flag.Parse()
 	reps := 50
 	if *quick {
 		reps = 10
+	}
+	if *traceDemoOut != "" {
+		if err := traceDemo(*traceDemoOut); err != nil {
+			fmt.Fprintln(os.Stderr, "unibench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *jsonOut {
 		// Tables keep printing through os.Stdout; point it at stderr so

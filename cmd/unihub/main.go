@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -21,6 +22,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"syscall"
@@ -32,6 +35,7 @@ import (
 	"uniint/internal/device"
 	"uniint/internal/hub"
 	"uniint/internal/metrics"
+	"uniint/internal/trace"
 	"uniint/internal/workload"
 )
 
@@ -47,6 +51,10 @@ func main() {
 	height := flag.Int("height", 240, "per-home desktop height")
 	drainTimeout := flag.Duration("drain", 5*time.Second, "graceful drain window on shutdown")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics address")
+	pprofMutex := flag.Int("pprof-mutex", 0, "mutex profile fraction (runtime.SetMutexProfileFraction; 0 disables)")
+	pprofBlock := flag.Int("pprof-block", 0, "block profile rate in ns (runtime.SetBlockProfileRate; 0 disables)")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N accepted interactions (rounded up to a power of two; 0 disables)")
+	traceSlow := flag.Duration("trace-slow", 0, "log a per-stage breakdown for traced interactions slower than this (0 disables)")
 	demo := flag.Bool("demo", false, "run the multi-home demo workload in process, print metrics, exit")
 	demoDevices := flag.Int("demo-devices", 2, "interaction devices per home in -demo")
 	demoSteps := flag.Int("demo-steps", 30, "scripted interactions per device in -demo")
@@ -57,8 +65,9 @@ func main() {
 		homes: *homes, classes: *classes, shards: *shards,
 		maxHomes: *maxHomes, idle: *idle,
 		width: *width, height: *height, drainTimeout: *drainTimeout,
-		pprof: *pprofFlag,
-		demo:  *demo, demoDevices: *demoDevices, demoSteps: *demoSteps,
+		pprof: *pprofFlag, pprofMutex: *pprofMutex, pprofBlock: *pprofBlock,
+		traceSample: *traceSample, traceSlow: *traceSlow,
+		demo: *demo, demoDevices: *demoDevices, demoSteps: *demoSteps,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "unihub:", err)
 		os.Exit(1)
@@ -74,6 +83,10 @@ type config struct {
 	width, height         int
 	drainTimeout          time.Duration
 	pprof                 bool
+	pprofMutex            int
+	pprofBlock            int
+	traceSample           int
+	traceSlow             time.Duration
 	demo                  bool
 	demoDevices           int
 	demoSteps             int
@@ -111,6 +124,19 @@ func run(cfg config) error {
 	if len(classes) == 0 {
 		return fmt.Errorf("no appliance classes")
 	}
+	if cfg.traceSample > 0 {
+		trace.SetSampling(cfg.traceSample)
+		fmt.Printf("tracing 1 in %d interactions\n", trace.Sampling())
+	}
+	if cfg.traceSlow > 0 {
+		trace.SetSlowLog(os.Stderr, cfg.traceSlow)
+	}
+	if cfg.pprofMutex > 0 {
+		runtime.SetMutexProfileFraction(cfg.pprofMutex)
+	}
+	if cfg.pprofBlock > 0 {
+		runtime.SetBlockProfileRate(cfg.pprofBlock)
+	}
 	h, err := hub.New(hub.Options{
 		Factory:     homeFactory(classes, cfg.width, cfg.height),
 		Shards:      cfg.shards,
@@ -137,10 +163,24 @@ func run(cfg config) error {
 
 	if cfg.metricsListen != "" {
 		mux := http.NewServeMux()
+		// Content negotiation: JSON for tooling that asks for it, the
+		// Prometheus exposition format (a superset of the old plain-text
+		// page: same sample lines, plus # TYPE headers and exemplars)
+		// for everything else.
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			_ = metrics.Default().WriteText(w)
+			if strings.Contains(r.Header.Get("Accept"), "application/json") {
+				w.Header().Set("Content-Type", "application/json")
+				_ = metrics.Default().WriteJSON(w)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = metrics.Default().WritePrometheus(w)
 		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(healthz(h, start))
+		})
+		mux.Handle("/debug/uniint/trace", trace.Handler())
 		if cfg.pprof {
 			// Profiling rides the metrics mux: `go tool pprof
 			// http://host:9190/debug/pprof/profile` against a live hub.
@@ -184,6 +224,34 @@ func run(cfg config) error {
 	case err := <-serveErr:
 		return err
 	}
+}
+
+// healthz summarizes liveness for probes: uptime, residency, connection
+// and session counts, detach-lot depth, and the build that is running.
+func healthz(h *hub.Hub, start time.Time) map[string]any {
+	snap := metrics.Default().Snapshot()
+	out := map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(start).Seconds(),
+		"homes":          h.Homes(),
+		"connections":    h.Connections(),
+		"sessions":       snap.Gauges["server_sessions"],
+		"parked":         snap.Gauges["session_parked"],
+		"queue_depth":    snap.Gauges["input_queue_depth"],
+		"go_version":     runtime.Version(),
+		"trace_sampling": trace.Sampling(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		build := map[string]string{"path": bi.Main.Path, "version": bi.Main.Version}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified":
+				build[s.Key] = s.Value
+			}
+		}
+		out["build"] = build
+	}
+	return out
 }
 
 // runDemo drives the M homes × K devices workload through in-process

@@ -42,12 +42,18 @@ import (
 	"uniint/internal/gfx"
 	"uniint/internal/hub"
 	"uniint/internal/situation"
+	"uniint/internal/trace"
 )
 
 func main() {
 	server := flag.String("server", "localhost:5900", "uniintd or unihub address")
 	home := flag.String("home", "", "home ID when the server is a multi-home unihub")
+	// Interaction trace ids are minted proxy-side, where the device event
+	// is accepted — sampling must be enabled here for the server's spans
+	// (and the hub's /debug/uniint/trace export) to see any interactions.
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N interactions end to end (0: off)")
 	flag.Parse()
+	trace.SetSampling(*traceSample)
 	if err := run(*server, *home); err != nil {
 		fmt.Fprintln(os.Stderr, "uniint-proxy:", err)
 		os.Exit(1)

@@ -32,10 +32,13 @@ type inputFlusher struct {
 // add buffers one universal event. A pointer event that changes no
 // buttons ("pure move") replaces a pure-move tail with the same mask —
 // the coalescing rule: intermediate positions vanish, the final position,
-// every button transition and every key event survive, in order.
-func (f *inputFlusher) add(ue UniEvent) {
+// every button transition and every key event survive, in order. A
+// nonzero tid tags the event as a sampled interaction; the tag survives
+// coalescing (an untraced tail absorbing a traced move adopts its id, so
+// the position that ultimately ships carries the trace).
+func (f *inputFlusher) add(ue UniEvent, tid uint64) {
 	if !ue.IsPointer {
-		f.pend = append(f.pend, pendingEvent{ev: rfb.InputEvent{Key: ue.Key}})
+		f.pend = append(f.pend, pendingEvent{ev: rfb.InputEvent{Key: ue.Key, TraceID: tid}})
 		return
 	}
 	move := ue.Pointer.Buttons == f.mask
@@ -43,12 +46,15 @@ func (f *inputFlusher) add(ue UniEvent) {
 	if move && len(f.pend) > 0 {
 		if t := &f.pend[len(f.pend)-1]; t.ev.IsPointer && t.move && t.ev.Pointer.Buttons == ue.Pointer.Buttons {
 			t.ev.Pointer = ue.Pointer
+			if t.ev.TraceID == 0 {
+				t.ev.TraceID = tid
+			}
 			f.coalesced++
 			return
 		}
 	}
 	f.pend = append(f.pend, pendingEvent{
-		ev:   rfb.InputEvent{IsPointer: true, Pointer: ue.Pointer},
+		ev:   rfb.InputEvent{IsPointer: true, Pointer: ue.Pointer, TraceID: tid},
 		move: move,
 	})
 }

@@ -84,7 +84,7 @@ func TestFlusherCoalescingProperties(t *testing.T) {
 			}
 		}
 		for _, ue := range in {
-			f.add(ue)
+			f.add(ue, 0)
 		}
 		out := make([]rfb.InputEvent, 0, len(f.pend))
 		for i := range f.pend {
@@ -179,9 +179,9 @@ func TestFlusherMaskContinuityAcrossFlushes(t *testing.T) {
 	c, h := wireClient(t)
 	var f inputFlusher
 
-	f.add(PointerTo(10, 10, 1)) // press (transition 0->1)
-	f.add(PointerTo(20, 10, 1)) // drag move
-	f.add(PointerTo(30, 10, 1)) // drag move, coalesces with previous
+	f.add(PointerTo(10, 10, 1), 0) // press (transition 0->1)
+	f.add(PointerTo(20, 10, 1), 0) // drag move
+	f.add(PointerTo(30, 10, 1), 0) // drag move, coalesces with previous
 	sent, coalesced, err := f.flush(c)
 	if err != nil || sent != 2 || coalesced != 1 {
 		t.Fatalf("first flush: sent=%d coalesced=%d err=%v", sent, coalesced, err)
@@ -189,9 +189,9 @@ func TestFlusherMaskContinuityAcrossFlushes(t *testing.T) {
 
 	// Next batch: the drag continues. Mask continuity must classify these
 	// as pure moves even though the press was in the previous flush.
-	f.add(PointerTo(40, 10, 1))
-	f.add(PointerTo(50, 10, 1))
-	f.add(PointerTo(50, 10, 0)) // release (transition 1->0)
+	f.add(PointerTo(40, 10, 1), 0)
+	f.add(PointerTo(50, 10, 1), 0)
+	f.add(PointerTo(50, 10, 0), 0) // release (transition 1->0)
 	sent, coalesced, err = f.flush(c)
 	if err != nil || sent != 2 || coalesced != 1 {
 		t.Fatalf("second flush: sent=%d coalesced=%d err=%v", sent, coalesced, err)
@@ -224,13 +224,13 @@ func TestFlusherMaskContinuityAcrossFlushes(t *testing.T) {
 // with moves break coalescing runs.
 func TestFlusherNeverCoalescesPressOrKey(t *testing.T) {
 	var f inputFlusher
-	f.add(PointerTo(1, 1, 0))                                // move
-	f.add(PointerTo(2, 2, 0))                                // move, coalesces
-	f.add(PointerTo(3, 3, 1))                                // press at (3,3): kept
-	f.add(UniEvent{Key: rfb.KeyEvent{Down: true, Key: 'k'}}) // key: kept
-	f.add(PointerTo(4, 4, 1))                                // drag move after key: kept (run broken)
-	f.add(PointerTo(5, 5, 1))                                // drag move: coalesces into previous
-	f.add(PointerTo(5, 5, 0))                                // release: kept
+	f.add(PointerTo(1, 1, 0), 0)                                // move
+	f.add(PointerTo(2, 2, 0), 0)                                // move, coalesces
+	f.add(PointerTo(3, 3, 1), 0)                                // press at (3,3): kept
+	f.add(UniEvent{Key: rfb.KeyEvent{Down: true, Key: 'k'}}, 0) // key: kept
+	f.add(PointerTo(4, 4, 1), 0)                                // drag move after key: kept (run broken)
+	f.add(PointerTo(5, 5, 1), 0)                                // drag move: coalesces into previous
+	f.add(PointerTo(5, 5, 0), 0)                                // release: kept
 
 	want := []rfb.InputEvent{
 		{IsPointer: true, Pointer: rfb.PointerEvent{Buttons: 0, X: 2, Y: 2}},

@@ -11,6 +11,7 @@ import (
 	"uniint/internal/gfx"
 	"uniint/internal/metrics"
 	"uniint/internal/rfb"
+	"uniint/internal/trace"
 )
 
 // Process-wide instruments, resolved once so the hot paths touch only
@@ -588,8 +589,16 @@ func (p *Proxy) pumpConsume(b *inputBinding, ev RawEvent) (cont, fatal bool) {
 		mDroppedRaw.Inc()
 		return true, false
 	}
+	// The sampling lottery runs here, where the proxy accepts a device
+	// event for forwarding: a sampled interaction's id rides the head
+	// event through batching, the wire, and the whole server pipeline.
+	tid := trace.Start()
+	t0 := int64(0)
+	if tid != 0 {
+		t0 = trace.Now()
+	}
 	for _, ue := range b.plugin.Translate(ev) {
-		p.flusher.add(ue)
+		p.flusher.add(ue, tid)
 	}
 	// Burst batching: fold events that already arrived behind this one
 	// into the same batch, so a pointer flood becomes one write. While
@@ -606,21 +615,32 @@ func (p *Proxy) pumpConsume(b *inputBinding, ev RawEvent) (cont, fatal bool) {
 			p.stats.rawEvents.Add(1)
 			mRawEvents.Inc()
 			for _, ue := range b.plugin.Translate(next) {
-				p.flusher.add(ue)
+				p.flusher.add(ue, 0)
 			}
 		case <-b.stop:
 			alive = false
 		default:
-			if err := p.flushLocked(); err != nil {
+			if err := p.finishFlush(tid, t0); err != nil {
 				return false, true
 			}
 			return alive, false
 		}
 	}
-	if err := p.flushLocked(); err != nil {
+	if err := p.finishFlush(tid, t0); err != nil {
 		return false, true
 	}
 	return alive, false
+}
+
+// finishFlush ships the pending batch and, when the batch carried a
+// sampled interaction, records its proxy_flush span — acceptance to
+// transport write, translation and coalescing included.
+func (p *Proxy) finishFlush(tid uint64, t0 int64) error {
+	err := p.flushLocked()
+	if tid != 0 && err == nil {
+		trace.Record(tid, trace.StageProxyFlush, t0, trace.Now())
+	}
+	return err
 }
 
 // flushLocked ships the pending batch (inMu held) and settles the stats:
@@ -652,9 +672,9 @@ func (p *Proxy) flushLocked() error {
 // attached device; used by scripted scenarios and benchmarks to bypass the
 // device channel (the pump path is exercised by the device simulators).
 func (p *Proxy) Inject(deviceID string, ev RawEvent) error {
-	return p.inject(deviceID, 1, func(b *inputBinding) {
+	return p.inject(deviceID, 1, func(b *inputBinding, tid uint64) {
 		for _, ue := range b.plugin.Translate(ev) {
-			p.flusher.add(ue)
+			p.flusher.add(ue, tid)
 		}
 	})
 }
@@ -664,10 +684,11 @@ func (p *Proxy) Inject(deviceID string, ev RawEvent) error {
 // collapse to their final position and the whole burst ships with a
 // single transport write.
 func (p *Proxy) InjectBatch(deviceID string, evs []RawEvent) error {
-	return p.inject(deviceID, int64(len(evs)), func(b *inputBinding) {
+	return p.inject(deviceID, int64(len(evs)), func(b *inputBinding, tid uint64) {
 		for _, ev := range evs {
 			for _, ue := range b.plugin.Translate(ev) {
-				p.flusher.add(ue)
+				p.flusher.add(ue, tid)
+				tid = 0 // only the head event of a batch carries the trace
 			}
 		}
 	})
@@ -677,7 +698,7 @@ func (p *Proxy) InjectBatch(deviceID string, evs []RawEvent) error {
 // translate (which feeds the flusher) under it, then flushes once. n is
 // the raw-event count the call carries, so drop accounting matches the
 // selected path's per-event counting.
-func (p *Proxy) inject(deviceID string, n int64, translate func(b *inputBinding)) error {
+func (p *Proxy) inject(deviceID string, n int64, translate func(b *inputBinding, tid uint64)) error {
 	p.mu.Lock()
 	b, ok := p.inputs[deviceID]
 	p.mu.Unlock()
@@ -703,8 +724,13 @@ func (p *Proxy) inject(deviceID string, n int64, translate func(b *inputBinding)
 		mDroppedRaw.Add(n)
 		return nil
 	}
-	translate(b)
-	return p.flushLocked()
+	tid := trace.Start()
+	t0 := int64(0)
+	if tid != 0 {
+		t0 = trace.Now()
+	}
+	translate(b, tid)
+	return p.finishFlush(tid, t0)
 }
 
 // --- output pipeline ---------------------------------------------------------

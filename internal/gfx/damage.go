@@ -13,6 +13,7 @@ type Damage struct {
 	rects  []Rect
 	bounds Rect // clip: rectangles are clipped to this on Add
 	limit  int
+	trace  uint64 // interaction trace id attributed to the pending damage
 }
 
 // NewDamage creates a tracker clipped to bounds. limit caps the number of
@@ -112,6 +113,25 @@ func (d *Damage) absorbInto(i int) {
 		}
 		j--
 	}
+}
+
+// MarkTrace attributes the pending damage to the sampled interaction id.
+// First writer wins: damage already attributed keeps its interaction
+// until TakeTrace drains the tag (coalesced damage from several
+// interactions is credited to the earliest, matching how the coalesced
+// update that ships it is credited).
+func (d *Damage) MarkTrace(id uint64) {
+	if d.trace == 0 {
+		d.trace = id
+	}
+}
+
+// TakeTrace returns-and-clears the trace id attributed to the pending
+// damage (0 when untraced). Renderers call it alongside Take/TakeInto.
+func (d *Damage) TakeTrace() uint64 {
+	id := d.trace
+	d.trace = 0
+	return id
 }
 
 // Empty reports whether no damage is pending.

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"uniint/internal/metrics"
+	"uniint/internal/trace"
 )
 
 // Errors returned by the hub.
@@ -340,7 +341,8 @@ const PreambleTimeout = 10 * time.Second
 // A TokenHome preamble routes by resume token: the hub finds the
 // resident home whose detach lot holds the session.
 func (h *Hub) ServeConn(conn net.Conn) error {
-	_ = conn.SetReadDeadline(time.Now().Add(PreambleTimeout))
+	t0 := time.Now()
+	_ = conn.SetReadDeadline(t0.Add(PreambleTimeout))
 	id, token, err := ReadPreamble(conn)
 	if err != nil {
 		conn.Close()
@@ -357,6 +359,12 @@ func (h *Hub) ServeConn(conn net.Conn) error {
 		}
 		h.mTokenRoutes.Inc()
 		id = owner
+	}
+	// The hub routes connections, not events: annotate the connection
+	// with its preamble-to-handoff window so the server can attach a
+	// hub_route span to every traced interaction arriving on it.
+	if trace.Enabled() {
+		conn = trace.WithRoute(conn, t0.UnixNano(), time.Now().UnixNano())
 	}
 	return h.Route(id, conn)
 }

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,17 +56,28 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // construction and never change, so observation is lock-free: a binary
 // search over the bounds plus two atomic adds.
 type Histogram struct {
-	bounds []float64       // ascending upper bounds; an implicit +Inf bucket follows
-	counts []atomic.Uint64 // len(bounds)+1
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, updated by CAS
+	bounds  []float64       // ascending upper bounds; an implicit +Inf bucket follows
+	counts  []atomic.Uint64 // len(bounds)+1
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, updated by CAS
+	maxBits atomic.Uint64 // float64 bits of the largest sample; -Inf until first Observe
+
+	// Exemplar: the most recent traced sample (ObserveExemplar with a
+	// non-zero trace id). The three fields are independent atomics; a
+	// reader racing a writer can see a torn triplet, which is acceptable
+	// for a debugging aid that links metrics to traces best-effort.
+	exVal   atomic.Uint64 // float64 bits
+	exTrace atomic.Uint64
+	exAt    atomic.Int64 // unix nanoseconds
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // Observe records one sample.
@@ -74,12 +86,35 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and, when traceID is non-zero,
+// remembers it as the histogram's exemplar: a concrete traced interaction
+// a scraper can pivot to from the aggregate series. With traceID zero it
+// is exactly Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	h.exVal.Store(math.Float64bits(v))
+	h.exAt.Store(time.Now().UnixNano())
+	h.exTrace.Store(traceID)
 }
 
 // ObserveDuration records a duration in seconds.
@@ -102,20 +137,39 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Count += s.Counts[i]
 	}
 	s.Sum = math.Float64frombits(h.sum.Load())
+	if m := math.Float64frombits(h.maxBits.Load()); !math.IsInf(m, -1) {
+		s.Max = m
+	}
+	if tid := h.exTrace.Load(); tid != 0 {
+		s.ExemplarTrace = tid
+		s.ExemplarValue = math.Float64frombits(h.exVal.Load())
+		s.ExemplarAt = h.exAt.Load()
+	}
 	return s
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram. Counts has one
 // more element than Bounds; the last element is the +Inf overflow bucket.
+// Max is the largest sample ever observed (0 when empty). The Exemplar
+// fields describe the most recent traced sample (ExemplarTrace 0: none).
 type HistogramSnapshot struct {
 	Bounds []float64
 	Counts []uint64
 	Count  uint64
 	Sum    float64
+	Max    float64
+
+	ExemplarValue float64
+	ExemplarTrace uint64
+	ExemplarAt    int64
 }
 
 // Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
-// within the containing bucket. Samples beyond the last bound clamp to it.
+// within the containing bucket. A quantile landing in the +Inf overflow
+// bucket returns the largest sample observed (Max) rather than the last
+// finite bound: the bound would understate a tail that by definition
+// exceeds it, and Max is the tightest upper estimate the histogram holds.
+// (Snapshots built by hand without Max fall back to the last bound.)
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0
@@ -128,8 +182,13 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		if cum < rank || c == 0 {
 			continue
 		}
-		if i >= len(s.Bounds) { // overflow bucket: clamp
-			return s.Bounds[len(s.Bounds)-1]
+		if i >= len(s.Bounds) { // overflow bucket
+			if len(s.Bounds) > 0 {
+				if last := s.Bounds[len(s.Bounds)-1]; s.Max < last {
+					return last
+				}
+			}
+			return s.Max
 		}
 		lo := 0.0
 		if i > 0 {
@@ -355,6 +414,84 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// WritePrometheus renders the registry in the Prometheus/OpenMetrics
+// exposition format: a "# TYPE" header per family, the cumulative
+// le-bucket series per histogram, and — when a histogram holds a traced
+// exemplar — an OpenMetrics exemplar suffix on the bucket line containing
+// it ("... # {trace_id=\"0x…\"} value timestamp"). Label values are
+// escaped per the spec (backslash, quote, newline). Families are sorted
+// by name so the output is diff-stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		p("# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		p("# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		p("# TYPE %s histogram\n", name)
+		// The exemplar annotates the first bucket whose upper bound
+		// admits it — the bucket the sample was counted into.
+		exBucket := -1
+		if h.ExemplarTrace != 0 {
+			exBucket = sort.SearchFloat64s(h.Bounds, h.ExemplarValue)
+		}
+		var cum uint64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			p("%s_bucket{le=\"%s\"} %d", name, escapeLabel(formatBound(b)), cum)
+			if i == exBucket {
+				p("%s", exemplarSuffix(h))
+			}
+			p("\n")
+		}
+		p("%s_bucket{le=\"+Inf\"} %d", name, h.Count)
+		if exBucket == len(h.Bounds) {
+			p("%s", exemplarSuffix(h))
+		}
+		p("\n%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count)
+	}
+	return err
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar annotation for a bucket
+// line: " # {trace_id=\"0x…\"} value timestamp_seconds".
+func exemplarSuffix(h HistogramSnapshot) string {
+	return fmt.Sprintf(" # {trace_id=\"0x%x\"} %g %.3f",
+		h.ExemplarTrace, h.ExemplarValue, float64(h.ExemplarAt)/1e9)
+}
+
+// escapeLabel escapes a label value per the Prometheus exposition format:
+// backslash, double quote and newline become \\, \" and \n.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

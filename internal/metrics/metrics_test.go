@@ -193,3 +193,129 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatalf("histogram summary wrong: %+v", hj)
 	}
 }
+
+func TestHistogramMaxAndOverflowQuantile(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01})
+	s := h.Snapshot()
+	if s.Max != 0 {
+		t.Fatalf("empty histogram Max = %g, want 0", s.Max)
+	}
+	h.Observe(0.0005)
+	h.Observe(7.5) // overflow bucket
+	s = h.Snapshot()
+	if s.Max != 7.5 {
+		t.Fatalf("Max = %g, want 7.5", s.Max)
+	}
+	// p99 lands in the +Inf bucket: it must report the max observed
+	// sample, not clamp to the last finite bound (the old behaviour
+	// understated the tail by orders of magnitude).
+	if q := s.Quantile(0.99); q != 7.5 {
+		t.Fatalf("overflow quantile = %g, want Max (7.5)", q)
+	}
+	// A snapshot built by hand without Max keeps the old clamp.
+	legacy := HistogramSnapshot{Bounds: []float64{0.01}, Counts: []uint64{0, 4}, Count: 4}
+	if q := legacy.Quantile(0.99); q != 0.01 {
+		t.Fatalf("legacy overflow quantile = %g, want last bound", q)
+	}
+}
+
+func TestObserveExemplar(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01})
+	h.ObserveExemplar(0.002, 0) // trace 0: plain Observe, no exemplar
+	s := h.Snapshot()
+	if s.ExemplarTrace != 0 {
+		t.Fatalf("untraced observation left an exemplar: %+v", s)
+	}
+	before := time.Now().UnixNano()
+	h.ObserveExemplar(0.005, 0xbeef)
+	s = h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.ExemplarTrace != 0xbeef || s.ExemplarValue != 0.005 {
+		t.Fatalf("exemplar = trace %#x value %g, want 0xbeef 0.005", s.ExemplarTrace, s.ExemplarValue)
+	}
+	if s.ExemplarAt < before {
+		t.Fatalf("exemplar timestamp %d predates the observation (%d)", s.ExemplarAt, before)
+	}
+	h.ObserveExemplar(0.02, 0xcafe) // newest traced sample wins
+	if s = h.Snapshot(); s.ExemplarTrace != 0xcafe {
+		t.Fatalf("exemplar not replaced: %#x", s.ExemplarTrace)
+	}
+}
+
+func TestWritePrometheusCumulativeLe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total").Add(9)
+	r.Gauge("sessions").Set(2)
+	h := r.Histogram("route_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.02)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE frames_total counter\nframes_total 9\n",
+		"# TYPE sessions gauge\nsessions 2\n",
+		"# TYPE route_seconds histogram\n",
+		// le buckets are cumulative: each line includes every smaller bucket.
+		"route_seconds_bucket{le=\"0.001\"} 1\n",
+		"route_seconds_bucket{le=\"0.01\"} 2\n",
+		"route_seconds_bucket{le=\"0.1\"} 3\n",
+		"route_seconds_bucket{le=\"+Inf\"} 4\n",
+		"route_seconds_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusExemplarSuffix(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("input_to_update_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.ObserveExemplar(0.002, 0x1f)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The exemplar rides the bucket line the sample was counted into
+	// (le="0.01" for 0.002), not the +Inf line.
+	var exLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "# {trace_id=") {
+			if exLine != "" {
+				t.Fatalf("exemplar on more than one line:\n%s", out)
+			}
+			exLine = line
+		}
+	}
+	if exLine == "" {
+		t.Fatalf("no exemplar suffix in output:\n%s", out)
+	}
+	if !strings.HasPrefix(exLine, `input_to_update_seconds_bucket{le="0.01"} 2 # {trace_id="0x1f"} 0.002 `) {
+		t.Fatalf("exemplar line = %q", exLine)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"line\nbreak", `line\nbreak`},
+		{"all\\\"\n", `all\\\"\n`},
+	} {
+		if got := escapeLabel(tc.in); got != tc.want {
+			t.Fatalf("escapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"uniint/internal/gfx"
 )
@@ -35,7 +36,7 @@ type ClientConn struct {
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
-	ws  [16]byte // write-path scratch (guarded by wmu): a stack array
+	ws  [24]byte // write-path scratch (guarded by wmu): a stack array
 	// passed through io.Writer escapes to the heap per call, which on the
 	// event hot path would mean one allocation per input event.
 
@@ -350,11 +351,14 @@ func (c *ClientConn) SendKey(ev KeyEvent) error {
 // InputEvent is one universal input event in batch form: exactly one of
 // the pointer/key halves is meaningful, selected by IsPointer. It exists
 // so a burst of translated events can cross the write path together (see
-// WriteEvents).
+// WriteEvents). A nonzero TraceID marks the event as a sampled
+// interaction: WriteEvents prefixes it with a trace-context extension
+// message carrying the id and the send timestamp.
 type InputEvent struct {
 	IsPointer bool
 	Pointer   PointerEvent
 	Key       KeyEvent
+	TraceID   uint64
 }
 
 // WriteEvents appends every event to the send buffer and flushes once, so
@@ -373,6 +377,12 @@ func (c *ClientConn) WriteEvents(evs []InputEvent) error {
 	defer func() { c.bytesSent.Add(n) }()
 	for i := range evs {
 		ev := &evs[i]
+		if ev.TraceID != 0 {
+			if err := c.putTraceLocked(ev.TraceID); err != nil {
+				return err
+			}
+			n += 17
+		}
 		if ev.IsPointer {
 			if err := c.putPointerLocked(ev.Pointer); err != nil {
 				return err
@@ -386,6 +396,18 @@ func (c *ClientConn) WriteEvents(evs []InputEvent) error {
 		}
 	}
 	return c.bw.Flush()
+}
+
+// putTraceLocked buffers a trace-context extension message without
+// flushing (wmu held): the next input event on the stream belongs to the
+// sampled interaction id. The send timestamp is taken here, at the last
+// moment before the bytes enter the transport buffer.
+func (c *ClientConn) putTraceLocked(id uint64) error {
+	b := c.ws[:17]
+	b[0] = msgTraceContext
+	be.PutUint64(b[1:], id)
+	be.PutUint64(b[9:], uint64(time.Now().UnixNano()))
+	return writeAll(c.bw, b)
 }
 
 // putKeyLocked buffers a key event without flushing (wmu held).

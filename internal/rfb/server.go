@@ -67,6 +67,12 @@ type ServerConn struct {
 	bytesSent     atomic.Int64
 	bytesReceived atomic.Int64
 	updatesSent   atomic.Int64
+
+	// Pending trace context (Serve goroutine only, like rs): set by a
+	// trace-context extension message, consumed by the next input event's
+	// handler via TakeTraceContext.
+	traceID uint64
+	traceAt int64
 }
 
 // NewServerConn performs the server side of the handshake over conn and
@@ -176,6 +182,17 @@ func (s *ServerConn) handshake(ex TokenExchange) error {
 		return err
 	}
 	return s.bw.Flush()
+}
+
+// TakeTraceContext returns and clears the trace context attached to the
+// input event currently being dispatched: the sampled interaction's id
+// and the client-side send timestamp (UnixNano). It is only meaningful
+// from inside a ServerHandler callback (the Serve goroutine); (0, 0)
+// means the event is untraced.
+func (s *ServerConn) TakeTraceContext() (id uint64, sentAt int64) {
+	id, sentAt = s.traceID, s.traceAt
+	s.traceID, s.traceAt = 0, 0
+	return id, sentAt
 }
 
 // Token returns the session token issued during the handshake ("" when
@@ -324,6 +341,15 @@ func (s *ServerConn) Serve(h ServerHandler) error {
 			}
 			s.bytesReceived.Add(5)
 			h.PointerEvent(PointerEvent{Buttons: b[0], X: be.Uint16(b[1:]), Y: be.Uint16(b[3:])})
+
+		case msgTraceContext:
+			b := s.rs[:16] // trace id + client send time
+			if _, err := io.ReadFull(s.br, b); err != nil {
+				return err
+			}
+			s.bytesReceived.Add(16)
+			s.traceID = be.Uint64(b[0:])
+			s.traceAt = int64(be.Uint64(b[8:]))
 
 		case msgClientCutText:
 			if _, err := io.ReadFull(s.br, s.rs[:3]); err != nil {

@@ -44,6 +44,14 @@ const (
 	msgKeyEvent           uint8 = 4
 	msgPointerEvent       uint8 = 5
 	msgClientCutText      uint8 = 6
+	// msgTraceContext is a protocol extension (type 7 is unused by RFB
+	// 3.3's client vocabulary, mirroring the resume-token handshake
+	// extension): it attaches an interaction trace id to the NEXT input
+	// event on the stream. Payload: 8-byte trace id + 8-byte client send
+	// time (UnixNano), so the server can span the wire hop. Servers that
+	// never see it behave identically; proxies only emit it for sampled
+	// interactions.
+	msgTraceContext uint8 = 7
 )
 
 // Server-to-client message types.

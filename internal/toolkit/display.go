@@ -2,9 +2,11 @@ package toolkit
 
 import (
 	"sync"
+	"time"
 
 	"uniint/internal/gfx"
 	"uniint/internal/metrics"
+	"uniint/internal/trace"
 )
 
 // Render-path instruments. repainted vs full pixels is the damage-clipped
@@ -42,6 +44,12 @@ type Display struct {
 	grab    Widget // widget holding the pointer between press and release
 	buttons uint8  // last observed pointer button mask
 	px, py  int    // last pointer position
+
+	// injectTrace tags damage produced while a traced input event is being
+	// injected; renderTrace latches the id of the last traced render until
+	// RenderTraceInto hands it to the update pipeline. Both under mu.
+	injectTrace uint64
+	renderTrace uint64
 
 	fbMu sync.Mutex
 	fb   *gfx.Framebuffer
@@ -158,6 +166,11 @@ func (d *Display) addDamage(r gfx.Rect) {
 		return
 	}
 	d.damage.Add(r)
+	if d.injectTrace != 0 {
+		// Damage caused while a traced event is mid-injection belongs to
+		// that interaction; the tag rides the damage set to the render.
+		d.damage.MarkTrace(d.injectTrace)
+	}
 	d.notify = true
 }
 
@@ -199,6 +212,23 @@ func (d *Display) RenderInto(dst []gfx.Rect) []gfx.Rect {
 	return append(dst[:0], rects...)
 }
 
+// RenderTraceInto is RenderInto additionally returning-and-clearing the
+// trace id of the traced interaction whose damage this render (or a
+// recent one whose rects are still undistributed) repainted — 0 when the
+// repainted damage was untraced. One lock acquisition covers both, so
+// the traced path costs the update pump nothing extra.
+func (d *Display) RenderTraceInto(dst []gfx.Rect) ([]gfx.Rect, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rects := d.renderLocked()
+	tid := d.renderTrace
+	d.renderTrace = 0
+	if len(rects) == 0 {
+		return dst[:0], tid
+	}
+	return append(dst[:0], rects...), tid
+}
+
 // renderLocked drains the damage set and repaints only widgets whose
 // bounds intersect a damage rectangle, with painting clipped to that
 // rectangle. Full-tree repaint is just the special case of one damage rect
@@ -211,6 +241,11 @@ func (d *Display) renderLocked() []gfx.Rect {
 	// Ping-pong two buffers through the tracker: rects was accumulated
 	// damage, d.scratch re-arms the tracker, and rects becomes the next
 	// re-arm after this render. Nothing escapes mu, so nothing races.
+	tid := d.damage.TakeTrace()
+	t0 := int64(0)
+	if tid != 0 {
+		t0 = time.Now().UnixNano()
+	}
 	rects := d.damage.TakeInto(d.scratch)
 	d.scratch = rects
 	d.gen++ // every widget's dirty flag is now stale ("clean")
@@ -234,6 +269,12 @@ func (d *Display) renderLocked() []gfx.Rect {
 	mRenderPx.Add(px)
 	mRenderVisited.Add(visited)
 	mRenderPainted.Add(painted)
+	if tid != 0 {
+		// This repaint covered a traced interaction's damage: record the
+		// render span and latch the id for RenderTraceInto's caller.
+		trace.Record(tid, trace.StageRender, t0, time.Now().UnixNano())
+		d.renderTrace = tid
+	}
 	return rects
 }
 
@@ -304,7 +345,15 @@ func (d *Display) Dirty() bool {
 // mask) into press/release/move events for the widget tree. It implements
 // the pointer half of the universal input event vocabulary.
 func (d *Display) InjectPointer(x, y int, buttons uint8) {
+	d.InjectPointerTraced(x, y, buttons, 0)
+}
+
+// InjectPointerTraced is InjectPointer attributing any damage the
+// injection produces to the sampled interaction tid (0 = untraced — the
+// plain InjectPointer path, at no extra cost).
+func (d *Display) InjectPointerTraced(x, y int, buttons uint8, tid uint64) {
 	d.mu.Lock()
+	d.injectTrace = tid
 	prev := d.buttons
 	d.buttons = buttons
 	d.px, d.py = x, y
@@ -332,6 +381,7 @@ func (d *Display) InjectPointer(x, y int, buttons uint8) {
 			d.grab.HandleMouse(MouseEvent{Kind: MouseMove, X: x, Y: y})
 		}
 	}
+	d.injectTrace = 0
 	d.mu.Unlock()
 	d.notifyDamage()
 }
@@ -348,11 +398,19 @@ func (d *Display) Click(x, y int) {
 // widget. This keyboard-only navigation path is what keypad devices (cell
 // phones, remote controls) are translated into by their input plug-ins.
 func (d *Display) InjectKey(down bool, key Key) {
+	d.InjectKeyTraced(down, key, 0)
+}
+
+// InjectKeyTraced is InjectKey attributing any damage the injection
+// produces to the sampled interaction tid (0 = untraced).
+func (d *Display) InjectKeyTraced(down bool, key Key, tid uint64) {
 	d.mu.Lock()
+	d.injectTrace = tid
 	ev := KeyEvent{Down: down, Key: key}
 
 	// Focused widget gets the first chance (a slider consumes Left/Right).
 	if d.focus != nil && d.focus.HandleKey(ev) {
+		d.injectTrace = 0
 		d.mu.Unlock()
 		d.notifyDamage()
 		return
@@ -365,6 +423,7 @@ func (d *Display) InjectKey(down bool, key Key) {
 			d.moveFocusLocked(-1)
 		}
 	}
+	d.injectTrace = 0
 	d.mu.Unlock()
 	d.notifyDamage()
 }

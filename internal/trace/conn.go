@@ -1,0 +1,30 @@
+package trace
+
+import "net"
+
+// routedConn annotates a connection with the hub-route span recorded
+// while the hub read the preamble and resolved the home. The hub routes
+// connections, not events, so the route latency is measured once here and
+// attached to every traced interaction that later arrives on the
+// connection — with its original (earlier) timestamps, explaining the gap
+// before an interaction's first pipeline span.
+type routedConn struct {
+	net.Conn
+	start, end int64
+}
+
+// WithRoute wraps conn so RouteSpan can recover the routing span
+// downstream. start and end are UnixNano timestamps of the hub's
+// preamble-to-handoff window.
+func WithRoute(conn net.Conn, start, end int64) net.Conn {
+	return &routedConn{Conn: conn, start: start, end: end}
+}
+
+// RouteSpan returns the routing span attached by WithRoute, if any.
+func RouteSpan(conn net.Conn) (start, end int64, ok bool) {
+	rc, ok := conn.(*routedConn)
+	if !ok {
+		return 0, 0, false
+	}
+	return rc.start, rc.end, true
+}

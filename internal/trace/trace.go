@@ -1,0 +1,392 @@
+// Package trace is a dependency-free, sampling, per-interaction span
+// recorder for the universal-interaction pipeline: one 64-bit trace id
+// minted when the proxy accepts a device event (or when a session parks or
+// resumes), carried through the proxy flusher, the wire, the hub's routing
+// preamble, the server's input queue, the dispatcher, the damage-clipped
+// repaint, the adaptive encode and the final SendPrepared flush — with one
+// fixed-size span recorded per stage.
+//
+// Cost model. With sampling disabled (the default), Start is a single
+// atomic load returning 0, and every Record call branches out on the zero
+// id — the instrumented hot paths keep their zero-allocation contracts
+// (BENCH_BASELINE.json gates them; BenchmarkTraceOverhead pins this
+// package's own cost). With sampling enabled, a sampled interaction costs
+// one atomic counter bump per candidate plus, per stage, a handful of
+// atomic stores into a pre-allocated ring slot: no locks, no heap
+// allocation, on any recording path.
+//
+// Storage. Spans land in a fixed set of sharded ring buffers (the shard is
+// picked from the trace id, so one flooding interaction cannot evict
+// everything else). Slots are written under a per-slot sequence counter
+// (seqlock): Snapshot can drain the rings concurrently with writers and
+// simply skips a slot caught mid-write. The rings are a debugging surface,
+// not an audit log — the oldest spans are overwritten when a ring wraps.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one pipeline stage of an interaction.
+type Stage uint8
+
+// Pipeline stages in causal order. The names (String) are the span names
+// exported to the Chrome trace viewer and the slow-interaction log; they
+// follow the repo's snake_case naming contract (cmd/obslint enforces it).
+const (
+	// StageProxyFlush covers plug-in translation, batching and coalescing
+	// in the proxy, up to the batched transport write.
+	StageProxyFlush Stage = iota
+	// StageWire covers the client's transport write to the server's parse
+	// (the trace-context wire extension carries the send timestamp).
+	StageWire
+	// StageHubRoute covers the hub's preamble read and home resolution.
+	// The hub routes connections, not events, so this span is recorded
+	// once at connect time and attached to each traced interaction with
+	// its original (earlier) timestamps — it precedes the pipeline rather
+	// than nesting inside it.
+	StageHubRoute
+	// StageQueue covers the server-side input queue: enqueue by the read
+	// loop to pickup by the dispatcher.
+	StageQueue
+	// StageDispatch covers injection into the window system (widget
+	// callbacks included).
+	StageDispatch
+	// StageRender covers the damage-clipped repaint the injection caused.
+	StageRender
+	// StageEncode covers adaptive encoding of the resulting update.
+	StageEncode
+	// StageFlush covers the SendPrepared transmit of the encoded update.
+	StageFlush
+	// StagePark marks the detach window a queued interaction survived in
+	// the detach lot (recorded on resume, spanning park to reclaim — it
+	// explains the queue-to-dispatch gap of a resumed trace).
+	StagePark
+	// StageResume is a session-lifecycle span: a parked session was
+	// reclaimed (recorded under its own sampled trace id).
+	StageResume
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"proxy_flush", "wire", "hub_route", "queue", "dispatch",
+	"render", "encode", "flush", "park", "resume",
+}
+
+// String returns the span name exported for the stage.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageNames lists every span name this package can record (the
+// observability name lint walks it).
+func StageNames() []string {
+	out := make([]string, numStages)
+	for i := range stageNames {
+		out[i] = stageNames[i]
+	}
+	return out
+}
+
+// Span is one recorded stage of one interaction. Start and End are
+// time.Time UnixNano values from the recording process's clock (every
+// stage of the in-process pipeline shares it, so cross-stage ordering is
+// meaningful).
+type Span struct {
+	Trace uint64
+	Start int64
+	End   int64
+	Stage Stage
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// Ring geometry. Power-of-two sizes keep the index math to a mask. Eight
+// shards x 1024 slots holds the spans of the last ~1000 sampled
+// interactions — plenty for a debug drain — in ~300 KiB of fixed storage.
+const (
+	ringShards = 8
+	ringSize   = 1024
+)
+
+// slot stores one span entirely in atomics, guarded by a per-slot
+// sequence counter: odd while a writer is mid-store, even when stable.
+// Two writers can collide on a slot only after a full ring lap between
+// their index claims; the loser's span is garbled but the seqlock keeps
+// the drain race-free, which is the contract that matters for a
+// lossy debug ring.
+type slot struct {
+	seq   atomic.Uint64
+	trace atomic.Uint64
+	start atomic.Int64
+	end   atomic.Int64
+	stage atomic.Uint32
+}
+
+type ring struct {
+	pos atomic.Uint64
+	// Pad the write cursor onto its own cache line so shards do not
+	// false-share.
+	_     [56]byte
+	slots [ringSize]slot
+}
+
+var rings [ringShards]ring
+
+// Sampling state. sampleRate == 0 means disabled; otherwise it is the
+// power-of-two rate and an interaction is sampled when the global
+// candidate counter lands on a multiple of it.
+var (
+	sampleRate atomic.Uint64
+	sampleSeq  atomic.Uint64
+	idSeq      atomic.Uint64
+)
+
+// Enabled reports whether any sampling is active. Pipeline code uses it
+// to gate optional work (timestamping, connection wrapping) that only
+// matters when traces can exist.
+func Enabled() bool { return sampleRate.Load() != 0 }
+
+// SetSampling sets the sampling rate: one traced interaction per rate
+// candidates (rounded up to a power of two). rate 1 traces everything;
+// rate <= 0 disables tracing, restoring the single-atomic-load fast path.
+func SetSampling(rate int) {
+	if rate <= 0 {
+		sampleRate.Store(0)
+		return
+	}
+	r := uint64(1)
+	for r < uint64(rate) {
+		r <<= 1
+	}
+	sampleRate.Store(r)
+}
+
+// Sampling returns the effective sampling rate (0 when disabled).
+func Sampling() int { return int(sampleRate.Load()) }
+
+// Start enters one interaction in the sampling lottery: it returns a new
+// nonzero trace id when the interaction is sampled and 0 otherwise. With
+// sampling disabled the cost is one atomic load. The zero id is the
+// universal "untraced" sentinel — every Record call ignores it, so
+// callers thread the returned id unconditionally.
+func Start() uint64 {
+	r := sampleRate.Load()
+	if r == 0 {
+		return 0
+	}
+	if sampleSeq.Add(1)&(r-1) != 0 {
+		return 0
+	}
+	return newID()
+}
+
+// newID mints a fresh trace id (sequential, never zero) and claims the
+// interaction's slot in the active-trace table.
+func newID() uint64 {
+	id := idSeq.Add(1)
+	at := &active[id&(activeSlots-1)]
+	at.id.Store(id)
+	for i := range at.start {
+		at.start[i].Store(0)
+		at.end[i].Store(0)
+	}
+	return id
+}
+
+// Record stores one span for trace id. A zero id is a no-op (the
+// untraced fast path: one predictable branch). start and end are
+// time.Time UnixNano values.
+func Record(id uint64, stage Stage, start, end int64) {
+	if id == 0 || stage >= numStages {
+		return
+	}
+	r := &rings[id&(ringShards-1)]
+	sl := &r.slots[(r.pos.Add(1)-1)&(ringSize-1)]
+	sl.seq.Add(1) // odd: write in progress
+	sl.trace.Store(id)
+	sl.start.Store(start)
+	sl.end.Store(end)
+	sl.stage.Store(uint32(stage))
+	sl.seq.Add(1) // even: stable
+	noteActive(id, stage, start, end)
+}
+
+// Now returns the timestamp Record expects (time.Now().UnixNano()).
+func Now() int64 { return time.Now().UnixNano() }
+
+// Snapshot drains a copy of every stable span currently in the rings,
+// ordered by start time. It does not consume them: the rings keep
+// overwriting oldest-first. Safe to call concurrently with recording.
+func Snapshot() []Span {
+	out := make([]Span, 0, 256)
+	for ri := range rings {
+		r := &rings[ri]
+		for si := range r.slots {
+			sl := &r.slots[si]
+			for try := 0; try < 2; try++ {
+				s1 := sl.seq.Load()
+				if s1 == 0 || s1&1 != 0 {
+					break // never written, or a writer is mid-store
+				}
+				sp := Span{
+					Trace: sl.trace.Load(),
+					Start: sl.start.Load(),
+					End:   sl.end.Load(),
+					Stage: Stage(sl.stage.Load()),
+				}
+				if sl.seq.Load() != s1 {
+					continue // torn read: a writer landed mid-copy
+				}
+				if sp.Trace != 0 {
+					out = append(out, sp)
+				}
+				break
+			}
+		}
+	}
+	sortSpans(out)
+	return out
+}
+
+// Reset clears the rings, the active-trace table and the counters.
+// Intended for tests; concurrent recorders may leave a handful of fresh
+// spans behind.
+func Reset() {
+	for ri := range rings {
+		r := &rings[ri]
+		r.pos.Store(0)
+		for si := range r.slots {
+			sl := &r.slots[si]
+			sl.seq.Store(0)
+			sl.trace.Store(0)
+		}
+	}
+	for i := range active {
+		active[i].id.Store(0)
+	}
+	sampleSeq.Store(0)
+}
+
+// --- active-trace table and the slow-interaction log -----------------------
+
+// activeSlots bounds the per-trace stage table used for slow-trace
+// detection. Slots are claimed by trace id modulo the table size; a newer
+// trace landing on an in-flight trace's slot simply evicts it from slow
+// logging (lossy by design — the ring spans are unaffected).
+const activeSlots = 128
+
+type activeTrace struct {
+	id    atomic.Uint64
+	start [numStages]atomic.Int64
+	end   [numStages]atomic.Int64
+}
+
+var active [activeSlots]activeTrace
+
+// slowThresholdNS > 0 arms the slow-interaction log.
+var (
+	slowThresholdNS atomic.Int64
+	slowMu          sync.Mutex
+	slowWriter      io.Writer
+)
+
+// SetSlowLog arms (or, with a nil writer or non-positive threshold,
+// disarms) the slow-interaction log: every sampled interaction whose
+// total latency — flush completion minus its earliest recorded stage
+// start — meets the threshold emits one structured line with the
+// per-stage breakdown.
+func SetSlowLog(w io.Writer, threshold time.Duration) {
+	slowMu.Lock()
+	slowWriter = w
+	slowMu.Unlock()
+	if w == nil || threshold <= 0 {
+		slowThresholdNS.Store(0)
+		return
+	}
+	slowThresholdNS.Store(int64(threshold))
+}
+
+func noteActive(id uint64, stage Stage, start, end int64) {
+	at := &active[id&(activeSlots-1)]
+	if at.id.Load() != id {
+		return // slot reclaimed by a newer trace
+	}
+	at.start[stage].Store(start)
+	at.end[stage].Store(end)
+	if stage == StageFlush {
+		maybeLogSlow(at, id, end)
+	}
+}
+
+// maybeLogSlow runs on flush completion of a sampled trace (the slow
+// path by definition: the interaction is over). Allocation here is fine.
+func maybeLogSlow(at *activeTrace, id uint64, flushEnd int64) {
+	th := slowThresholdNS.Load()
+	if th == 0 {
+		return
+	}
+	first := int64(0)
+	for i := 0; i < int(numStages); i++ {
+		s := at.start[i].Load()
+		if s != 0 && (first == 0 || s < first) {
+			first = s
+		}
+	}
+	if first == 0 || flushEnd-first < th {
+		return
+	}
+	line := fmt.Sprintf("slow_interaction trace=%#x total_ms=%.3f", id,
+		float64(flushEnd-first)/1e6)
+	for i := 0; i < int(numStages); i++ {
+		s, e := at.start[i].Load(), at.end[i].Load()
+		if s == 0 && e == 0 {
+			continue
+		}
+		line += fmt.Sprintf(" %s_ms=%.3f", Stage(i), float64(e-s)/1e6)
+	}
+	slowMu.Lock()
+	w := slowWriter
+	if w != nil {
+		fmt.Fprintln(w, line)
+	}
+	slowMu.Unlock()
+}
+
+func sortSpans(spans []Span) {
+	// Insertion-sort-free: spans come out ring by ring, nearly unordered —
+	// use a simple comparison sort without pulling in package sort's
+	// interface allocations (sort.Slice closure allocates once; fine, but
+	// a local implementation keeps the package surface honest about its
+	// zero-dependency hot path... the drain is a cold path, so clarity
+	// wins: shell sort over (Start, Trace, Stage).
+	n := len(spans)
+	for gap := n / 2; gap > 0; gap /= 2 {
+		for i := gap; i < n; i++ {
+			j := i
+			for j >= gap && spanLess(spans[j], spans[j-gap]) {
+				spans[j], spans[j-gap] = spans[j-gap], spans[j]
+				j -= gap
+			}
+		}
+	}
+}
+
+func spanLess(a, b Span) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.Trace != b.Trace {
+		return a.Trace < b.Trace
+	}
+	return a.Stage < b.Stage
+}

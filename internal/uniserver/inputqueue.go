@@ -7,6 +7,7 @@ import (
 	"uniint/internal/metrics"
 	"uniint/internal/rfb"
 	"uniint/internal/toolkit"
+	"uniint/internal/trace"
 )
 
 // Input-pipeline instruments (server half). The accounting invariant:
@@ -44,7 +45,8 @@ const inputQueueHardCap = 4096
 // inputEvent is one universal input event parked between the protocol
 // read loop and the dispatch goroutine.
 type inputEvent struct {
-	enq     int64 // time.Now().UnixNano() at enqueue
+	enq     int64  // time.Now().UnixNano() at enqueue
+	trace   uint64 // sampled interaction id (0: untraced)
 	key     rfb.KeyEvent
 	ptr     rfb.PointerEvent
 	pointer bool
@@ -82,7 +84,12 @@ func (q *inputQueue) put(ev inputEvent) {
 		if t := &q.buf[len(q.buf)-1]; t.pointer && t.move && t.ptr.Buttons == ev.ptr.Buttons {
 			// Keep the tail's enqueue time: the coalesced entry stands in
 			// for the whole run, and latency is measured from its start.
+			// A traced position folding into an untraced tail hands its
+			// id over, so the surviving entry carries the trace.
 			t.ptr = ev.ptr
+			if t.trace == 0 {
+				t.trace = ev.trace
+			}
 			q.mu.Unlock()
 			mInputCoalesced.Inc()
 			return
@@ -222,13 +229,27 @@ func (c *session) dispatchLoop() {
 			c.inputMark.CompareAndSwap(0, batch[0].enq)
 			for i := range batch {
 				ev := &batch[i]
+				t0 := int64(0)
+				if ev.trace != 0 {
+					t0 = time.Now().UnixNano()
+					// The queue span: read-loop enqueue to dispatcher
+					// pickup. For an event replayed across a park window
+					// it straddles the detach (the park span explains it).
+					trace.Record(ev.trace, trace.StageQueue, ev.enq, t0)
+				}
 				if ev.pointer {
-					c.srv.display.InjectPointer(int(ev.ptr.X), int(ev.ptr.Y), ev.ptr.Buttons)
+					c.srv.display.InjectPointerTraced(int(ev.ptr.X), int(ev.ptr.Y), ev.ptr.Buttons, ev.trace)
 				} else {
-					c.srv.display.InjectKey(ev.key.Down, toolkit.Key(ev.key.Key))
+					c.srv.display.InjectKeyTraced(ev.key.Down, toolkit.Key(ev.key.Key), ev.trace)
 				}
 				mInputDispatched.Inc()
-				mInputDispatchSec.Observe(float64(time.Now().UnixNano()-ev.enq) / 1e9)
+				now := time.Now().UnixNano()
+				if ev.trace != 0 {
+					trace.Record(ev.trace, trace.StageDispatch, t0, now)
+					mInputDispatchSec.ObserveExemplar(float64(now-ev.enq)/1e9, ev.trace)
+				} else {
+					mInputDispatchSec.Observe(float64(now-ev.enq) / 1e9)
+				}
 			}
 			c.inq.recycle(batch)
 		}

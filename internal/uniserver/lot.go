@@ -8,6 +8,7 @@ import (
 	"uniint/internal/gfx"
 	"uniint/internal/metrics"
 	"uniint/internal/rfb"
+	"uniint/internal/trace"
 )
 
 // The detach lot is the server half of session resilience: when a proxy's
@@ -163,6 +164,12 @@ func (s *Server) register(sess *session, reclaimed *parkedSession) bool {
 		sess.adopt(reclaimed)
 		mSessResumed.Inc()
 		mDetachSeconds.ObserveDuration(time.Since(reclaimed.parkedAt))
+		// A resume is itself a traceable session-lifecycle interaction:
+		// its span covers the whole detach window, under a fresh id.
+		if tid := trace.Start(); tid != 0 {
+			trace.Record(tid, trace.StageResume,
+				reclaimed.parkedAt.UnixNano(), time.Now().UnixNano())
+		}
 	}
 	return true
 }
@@ -252,6 +259,17 @@ func (c *session) adopt(ps *parkedSession) {
 	c.pending = ps.pending
 	c.hasPending = ps.hasPending
 	c.lastPtrMask = ps.lastPtrMask
+	// Traced events that sat out the detach window get a park span —
+	// detach to reclaim — under their own id, so the gap between their
+	// queue enqueue and eventual dispatch is explained in the export.
+	if trace.Enabled() {
+		p0, now := ps.parkedAt.UnixNano(), time.Now().UnixNano()
+		for i := range ps.events {
+			if t := ps.events[i].trace; t != 0 {
+				trace.Record(t, trace.StagePark, p0, now)
+			}
+		}
+	}
 	c.inq.preload(ps.events)
 }
 

@@ -21,6 +21,7 @@ import (
 	"uniint/internal/metrics"
 	"uniint/internal/rfb"
 	"uniint/internal/toolkit"
+	"uniint/internal/trace"
 )
 
 // Process-wide instruments, resolved once so the hot paths touch only
@@ -119,6 +120,10 @@ func (s *Server) Display() *toolkit.Display { return s.display }
 // (unless parking is disabled or the server is closing).
 func (s *Server) HandleConn(conn net.Conn) error {
 	w, h := s.display.Size()
+	// A hub-routed connection carries its routing span (preamble read +
+	// home resolution); remember it so every traced interaction arriving
+	// on this connection can attach the hub_route stage.
+	routeStart, routeEnd, _ := trace.RouteSpan(conn)
 	var reclaimed *parkedSession
 	ex := func(presented string) (string, bool) {
 		if s.parkTTL > 0 && presented != "" {
@@ -150,6 +155,8 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		srv:          s,
 		conn:         rc,
 		token:        rc.Token(),
+		routeStart:   routeStart,
+		routeEnd:     routeEnd,
 		dirty:        gfx.NewDamage(gfx.R(0, 0, w, h), 16),
 		outbox:       gfx.NewDamage(gfx.R(0, 0, w, h), 16),
 		bounds:       gfx.R(0, 0, w, h),
@@ -242,7 +249,7 @@ func (s *Server) Sessions() int {
 func (s *Server) pump() {
 	s.pumpMu.Lock()
 	defer s.pumpMu.Unlock()
-	rects := s.display.RenderInto(s.pumpBuf)
+	rects, tid := s.display.RenderTraceInto(s.pumpBuf)
 	s.pumpBuf = rects
 	if len(rects) == 0 {
 		return
@@ -257,6 +264,12 @@ func (s *Server) pump() {
 	s.mu.Unlock()
 	for _, sess := range sessions {
 		sess.addDirty(rects)
+		if tid != 0 {
+			// This render carries a traced interaction's damage: mark the
+			// session so the flush that ships it closes the trace. First
+			// trace wins until a flush clears the mark (inputMark pattern).
+			sess.traceMark.CompareAndSwap(0, tid)
+		}
 	}
 	s.pumpSess = sessions
 	// Parked sessions accumulate the same damage: it is exactly what the
@@ -302,6 +315,13 @@ type session struct {
 	inq         inputQueue
 	lastPtrMask uint8
 	inputMark   atomic.Int64
+
+	// routeStart/routeEnd hold the hub's routing span for this connection
+	// (zero when not hub-routed); traceMark carries the sampled trace id
+	// of the render the writer is about to ship (set by the pump, cleared
+	// on successful flush — the inputMark pattern for trace ids).
+	routeStart, routeEnd int64
+	traceMark            atomic.Uint64
 
 	// reqs parks protocol update requests for the writer, which pumps
 	// the renderer and runs the request state machine in arrival order.
@@ -429,6 +449,7 @@ func (c *session) flush(rects []gfx.Rect) {
 		prep *rfb.PreparedUpdate
 		err  error
 	)
+	tid := c.traceMark.Load()
 	start := time.Now()
 	c.srv.display.WithFramebuffer(func(fb *gfx.Framebuffer) {
 		// The session's geometry is fixed at handshake, but the display
@@ -448,7 +469,14 @@ func (c *session) flush(rects []gfx.Rect) {
 		}
 		prep, err = c.conn.PrepareUpdate(fb, urs)
 	})
-	mEncodeSeconds.ObserveDuration(time.Since(start))
+	encDur := time.Since(start)
+	if tid != 0 {
+		encEnd := start.UnixNano() + int64(encDur)
+		trace.Record(tid, trace.StageEncode, start.UnixNano(), encEnd)
+		mEncodeSeconds.ObserveExemplar(encDur.Seconds(), tid)
+	} else {
+		mEncodeSeconds.ObserveDuration(encDur)
+	}
 	if prep == nil && err == nil {
 		// Everything clipped away (display shrunk under the session):
 		// answer with an empty update to keep request/reply pairing.
@@ -463,6 +491,10 @@ func (c *session) flush(rects []gfx.Rect) {
 		return // encoding failure: drop the update, connection stays up
 	}
 	size := prep.Size()
+	sendT0 := int64(0)
+	if tid != 0 {
+		sendT0 = time.Now().UnixNano()
+	}
 	if err := c.conn.SendPrepared(prep); err != nil {
 		// Transport failure: the read loop will observe it and tear the
 		// session down. The pixels were consumed from the dirty set but
@@ -483,7 +515,19 @@ func (c *session) flush(rects []gfx.Rect) {
 	// ship since an input event was dispatched, so it (approximately)
 	// carries that input's visual consequence.
 	if mark := c.inputMark.Swap(0); mark != 0 {
-		mInputToUpdateSec.Observe(float64(time.Now().UnixNano()-mark) / 1e9)
+		v := float64(time.Now().UnixNano()-mark) / 1e9
+		if tid != 0 {
+			mInputToUpdateSec.ObserveExemplar(v, tid)
+		} else {
+			mInputToUpdateSec.Observe(v)
+		}
+	}
+	if tid != 0 {
+		// The flush span completes the interaction (pixels on the wire);
+		// clear the mark only now, so a failed send leaves the trace open
+		// for the retried update that actually ships the damage.
+		trace.Record(tid, trace.StageFlush, sendT0, time.Now().UnixNano())
+		c.traceMark.Store(0)
 	}
 }
 
@@ -493,7 +537,9 @@ var _ rfb.ServerHandler = (*session)(nil)
 // window system. The read loop only enqueues; dispatchLoop injects.
 func (c *session) KeyEvent(ev rfb.KeyEvent) {
 	mKeyEvents.Inc()
-	c.inq.put(inputEvent{enq: time.Now().UnixNano(), key: ev})
+	now := time.Now().UnixNano()
+	tid := c.takeEventTrace(now)
+	c.inq.put(inputEvent{enq: now, trace: tid, key: ev})
 	c.wakeDispatch()
 }
 
@@ -502,10 +548,33 @@ func (c *session) KeyEvent(ev rfb.KeyEvent) {
 // pure move — the only kind the queue may coalesce under backpressure.
 func (c *session) PointerEvent(ev rfb.PointerEvent) {
 	mPointerEvents.Inc()
-	move := ev.Buttons == c.lastPtrMask
-	c.lastPtrMask = ev.Buttons
-	c.inq.put(inputEvent{enq: time.Now().UnixNano(), ptr: ev, pointer: true, move: move})
+	now := time.Now().UnixNano()
+	tid := c.takeEventTrace(now)
+	c.inq.put(inputEvent{enq: now, trace: tid, ptr: ev, pointer: true, move: move(c, ev)})
 	c.wakeDispatch()
+}
+
+func move(c *session, ev rfb.PointerEvent) bool {
+	m := ev.Buttons == c.lastPtrMask
+	c.lastPtrMask = ev.Buttons
+	return m
+}
+
+// takeEventTrace consumes the trace context the wire attached to the
+// event currently being dispatched (read-loop-synchronous). For a traced
+// event it closes the wire span — client transport write to server parse,
+// one clock, in-process — and attaches the connection's hub_route span
+// under the interaction's id with its true (earlier) timestamps.
+func (c *session) takeEventTrace(now int64) uint64 {
+	tid, sent := c.conn.TakeTraceContext()
+	if tid == 0 {
+		return 0
+	}
+	trace.Record(tid, trace.StageWire, sent, now)
+	if c.routeEnd != 0 {
+		trace.Record(tid, trace.StageHubRoute, c.routeStart, c.routeEnd)
+	}
+	return tid
 }
 
 func (c *session) wakeDispatch() {

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"uniint/internal/metrics"
 	"uniint/internal/netsim"
 	"uniint/internal/toolkit"
+	"uniint/internal/trace"
 	"uniint/internal/uniserver"
 )
 
@@ -40,6 +42,14 @@ type resumeStack struct {
 }
 
 func newResumeStack(t *testing.T) *resumeStack {
+	return newResumeStackTuned(t, 50*time.Millisecond, nil)
+}
+
+// newResumeStackTuned exposes the supervisor's redial backoff and a
+// decorator around the button's click handler. The trace park/resume
+// test uses both: the decorator stalls the dispatcher mid-interaction
+// and the wide backoff keeps the park window open while it does.
+func newResumeStackTuned(t *testing.T, backoff time.Duration, wrap func(inner func()) func()) *resumeStack {
 	t.Helper()
 	st := &resumeStack{t: t, display: toolkit.NewDisplay(320, 240)}
 	st.srv = uniserver.New(st.display, "resume-e2e")
@@ -47,7 +57,11 @@ func newResumeStack(t *testing.T) *resumeStack {
 
 	var mu sync.Mutex
 	clicks := 0
-	btn := toolkit.NewButton("Toggle", func() { mu.Lock(); clicks++; mu.Unlock() })
+	handler := func() { mu.Lock(); clicks++; mu.Unlock() }
+	if wrap != nil {
+		handler = wrap(handler)
+	}
+	btn := toolkit.NewButton("Toggle", handler)
 	st.clicks = func() int { mu.Lock(); defer mu.Unlock(); return clicks }
 	st.lbl = toolkit.NewLabel("count 000")
 	root := toolkit.NewPanel(toolkit.VBox{Gap: 4, Padding: 4})
@@ -65,7 +79,7 @@ func newResumeStack(t *testing.T) *resumeStack {
 		st.mu.Unlock()
 		return link, nil
 	}
-	sup, err := core.NewSupervisor(dial, core.WithBackoff(50*time.Millisecond))
+	sup, err := core.NewSupervisor(dial, core.WithBackoff(backoff))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,5 +253,117 @@ func TestResumeShipsOnlyDetachDamageByteIdentical(t *testing.T) {
 	}
 	if d := counters.Counter("session_resumed_total").Value() - resumed0; d < 1 {
 		t.Errorf("session_resumed_total delta = %d, want >= 1", d)
+	}
+}
+
+// TestTraceSpansSurviveParkResume (ISSUE 6 satellite): a traced
+// interaction that is still queued when its link dies keeps its trace id
+// across the park window. The replayed dispatch and the resulting
+// update flush land under the same id as the pre-drop proxy and wire
+// spans; a park span explains the gap, and the queue span straddles it.
+//
+// The stall is engineered, not raced: the first press's click handler
+// blocks on a gate (holding the display lock), so the second press's
+// traced events queue behind it in the server's input queue. The link
+// then drops, the gate opens, the dispatcher exits with the second
+// press undispatched, and retire parks it for the resume to replay.
+func TestTraceSpansSurviveParkResume(t *testing.T) {
+	trace.Reset()
+	trace.SetSampling(1)
+	defer trace.Reset()
+	defer trace.SetSampling(0)
+
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var gate atomic.Bool
+	gate.Store(true) // only the first click stalls; the replay must not
+	wrap := func(inner func()) func() {
+		return func() {
+			if gate.CompareAndSwap(true, false) {
+				entered <- struct{}{}
+				<-release
+			}
+			inner()
+		}
+	}
+	st := newResumeStackTuned(t, 250*time.Millisecond, wrap)
+	st.awaitTraffic()
+	st.settle()
+
+	queued0 := metrics.Default().Counter("input_queued_total").Value()
+	st.phone.PressKey("ok") // press A: its key-down blocks in the gate
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatcher never reached the gated click handler")
+	}
+	st.phone.PressKey("ok") // press B: queues behind the stalled dispatcher
+	waitCond(t, "press B queued server-side", func() bool {
+		return metrics.Default().Counter("input_queued_total").Value()-queued0 >= 4
+	})
+
+	st.dropLink()
+	// Let the dead link surface in the read loop (closing the session's
+	// quit channel) before opening the gate: the dispatcher must see the
+	// stop before taking another batch, so press B stays queued and
+	// retire parks it. The 250ms redial backoff leaves ample room.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	waitCond(t, "reconnect", func() bool { return st.sup.Reconnects() == 1 })
+	if got := st.sup.Resumes(); got != 1 {
+		t.Fatalf("Resumes() = %d, want 1", got)
+	}
+	waitCond(t, "replayed click", func() bool { return st.clicks() == 2 })
+
+	// The parked interaction: one trace id carries a park span and the
+	// flush of the post-resume update.
+	var parked map[trace.Stage]trace.Span
+	waitCond(t, "parked interaction flushed", func() bool {
+		for _, spans := range spansByTrace(trace.Snapshot()) {
+			if _, ok := spans[trace.StagePark]; !ok {
+				continue
+			}
+			if _, ok := spans[trace.StageFlush]; !ok {
+				continue
+			}
+			parked = spans
+			return true
+		}
+		return false
+	})
+	for _, stg := range []trace.Stage{
+		trace.StageProxyFlush, trace.StageWire, trace.StageQueue,
+		trace.StageDispatch, trace.StageRender, trace.StageEncode,
+	} {
+		if _, ok := parked[stg]; !ok {
+			t.Fatalf("parked trace missing %s span", stg)
+		}
+	}
+	park := parked[trace.StagePark]
+	// The wire span closed before the park began (the event arrived on
+	// the dying connection); the queue span straddles the whole detach
+	// window; dispatch ran after the resume reclaimed the session.
+	if wire := parked[trace.StageWire]; wire.End > park.Start {
+		t.Errorf("wire span ends %d, after park start %d", wire.End, park.Start)
+	}
+	if q := parked[trace.StageQueue]; q.Start > park.Start || q.End < park.End {
+		t.Errorf("queue span [%d, %d] does not straddle park window [%d, %d]",
+			q.Start, q.End, park.Start, park.End)
+	}
+	if d := parked[trace.StageDispatch]; d.Start < park.End {
+		t.Errorf("dispatch span starts %d, before park end %d", d.Start, park.End)
+	}
+
+	// The resume recorded its own lifecycle span (fresh id) covering the
+	// detach window.
+	resumes := 0
+	for _, s := range trace.Snapshot() {
+		if s.Stage == trace.StageResume {
+			resumes++
+		}
+	}
+	if resumes != 1 {
+		t.Errorf("resume spans = %d, want 1", resumes)
 	}
 }

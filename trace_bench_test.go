@@ -1,0 +1,56 @@
+package uniint
+
+import (
+	"testing"
+
+	"uniint/internal/trace"
+)
+
+// BenchmarkTraceOverhead pins the tracing fast paths behind the
+// zero-overhead contract (gated in CI via GATE_BENCH_MICRO):
+//
+//   - off: with sampling disabled, entering the sampling lottery is a
+//     single atomic load and must stay allocation-free — this is the
+//     cost every un-traced interaction pays on the input hot path.
+//   - sampled64: at the production 1/64 rate, the amortized per-call
+//     cost of the lottery plus a full eight-stage span recording for
+//     the sampled interactions. Still allocation-free: spans land in
+//     the fixed seqlock rings.
+//
+// A lock or heap allocation slipping into Start/Record shows up here as
+// an allocs/op regression and fails the benchmark gate.
+func BenchmarkTraceOverhead(b *testing.B) {
+	stages := []trace.Stage{
+		trace.StageProxyFlush, trace.StageWire, trace.StageHubRoute,
+		trace.StageQueue, trace.StageDispatch, trace.StageRender,
+		trace.StageEncode, trace.StageFlush,
+	}
+
+	b.Run("off", func(b *testing.B) {
+		trace.SetSampling(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tid := trace.Start(); tid != 0 {
+				b.Fatal("sampled an interaction with sampling off")
+			}
+		}
+	})
+
+	b.Run("sampled64", func(b *testing.B) {
+		trace.Reset()
+		trace.SetSampling(64)
+		defer trace.SetSampling(0)
+		defer trace.Reset()
+		now := trace.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tid := trace.Start(); tid != 0 {
+				for _, stg := range stages {
+					trace.Record(tid, stg, now, now+1000)
+				}
+			}
+		}
+	})
+}
