@@ -11,7 +11,7 @@ GO       ?= go
 # pipeline, hub routing, and the damage-clipped render path (whose
 # allocs/op pins the zero-allocation incremental-render contract and whose
 # ns/op pins the ≥10x widget-vs-full-repaint win).
-GATE_BENCH ?= BenchmarkE1InputLatency|BenchmarkE2Encoding|BenchmarkE2bPooled|BenchmarkE2bAdaptive|BenchmarkHubRoute|BenchmarkRenderFull|BenchmarkResume|BenchmarkE2bRoam
+GATE_BENCH ?= BenchmarkE1InputLatency|BenchmarkE2Encoding|BenchmarkE2bPooled|BenchmarkE2bAdaptive|BenchmarkHubRoute|BenchmarkRenderFull|BenchmarkResume|BenchmarkE2bRoam|BenchmarkE2bWire
 BENCHTIME  ?= 100x
 # Sub-100µs benchmarks run with many more iterations: at 100x a ~3µs/op
 # bench measures a ~0.3ms window, where a single scheduler preemption on a
@@ -26,6 +26,12 @@ BENCHTIME_MICRO  ?= 10000x
 # far under the 2x-regression class the gate exists to catch. allocs/op is
 # machine-independent and stays tight (+20%, +2 absolute).
 NS_TOL     ?= 0.75
+# Custom */op metric headroom (wirebytes/op, updates/op, dispatches/op):
+# some of these are timing-coupled ratios (updates per event depends on
+# coalescing races), so they get ns-class headroom. The deterministic
+# ones (wirebytes/op replays a fixed step cycle) regress by multiples
+# when they regress at all, so +50% still catches the real class.
+EXTRA_TOL  ?= 0.50
 
 # Coverage gate: cmd/covgate parses the coverage profile and fails below
 # this committed threshold (current total is ~73.6%; the margin absorbs
@@ -33,7 +39,7 @@ NS_TOL     ?= 0.75
 # is a reviewed change, like the benchmark baseline.
 COVER_MIN ?= 70
 
-.PHONY: all build test vet race fmt-check cover cover-gate soak bench bench-out bench-gate bench-baseline profile obslint trace-demo
+.PHONY: all build test vet race fmt-check cover cover-gate soak bench bench-out bench-gate bench-baseline profile obslint docs-check trace-demo
 
 all: build test
 
@@ -60,6 +66,14 @@ build:
 # CI runs it in the staticcheck job.
 obslint:
 	$(GO) run ./cmd/obslint .
+
+# docs-check keeps the documentation honest: the wire-spec coverage test
+# (every msg*/Enc* constant in internal/rfb must be named in
+# docs/WIRE.md), the doc lint (every package and exported constant
+# documented) and the markdown relative-link check.
+docs-check:
+	$(GO) test -run TestWireDocCoversAllConstants -count=1 .
+	$(GO) run ./cmd/obslint -doclint -mdlinks .
 
 # trace-demo records a fully-sampled interaction workload and writes
 # trace.json — drop it into chrome://tracing or ui.perfetto.dev to see
@@ -94,7 +108,7 @@ bench-out:
 bench-gate:
 	@{ $(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem . && \
 	   $(GO) test -run NONE -bench '$(GATE_BENCH_MICRO)' -benchtime $(BENCHTIME_MICRO) -benchmem . ; } \
-		| $(GO) run ./cmd/benchgate -tolerance $(NS_TOL)
+		| $(GO) run ./cmd/benchgate -tolerance $(NS_TOL) -extra-tolerance $(EXTRA_TOL)
 
 # bench-baseline regenerates BENCH_BASELINE.json from two local runs of
 # the gated set; benchgate -update keeps the worst observation per

@@ -120,10 +120,16 @@ func TestChaosSoak(t *testing.T) {
 // soakDevice walks one roam itinerary: connect to the visit's home
 // through a fault-injected link, interact, hop by killing the link.
 func soakDevice(h *hub.Hub, seed int64, di int, plan workload.RoamPlan) error {
+	// The byte budgets are sized to the wire-efficiency tier: a cold join
+	// plus a visit's repaints now ship a few hundred bytes (CopyRect,
+	// tile refs, dictionary zlib), so budgets in this range still kill
+	// links mid-visit — which is what drives the in-place resumes the
+	// test asserts. Budgets sized for the pre-tier raw/hextile volume
+	// (thousands of bytes) would outlast every visit and never fire.
 	inj := netsim.NewInjector(netsim.FaultConfig{
 		Seed:               seed + int64(di)*104_729,
-		DropAfterMin:       1_500,
-		DropAfterMax:       6_000,
+		DropAfterMin:       300,
+		DropAfterMax:       1_200,
 		HandshakeDropEvery: 7,
 		Jitter:             200 * time.Microsecond,
 		Truncate:           true,

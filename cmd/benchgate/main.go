@@ -33,6 +33,7 @@ func main() {
 		tolerance    = flag.Float64("tolerance", 0.20, "relative ns/op headroom (0.20 = +20%)")
 		allocTol     = flag.Float64("alloc-tolerance", 0.20, "relative allocs/op headroom")
 		allocSlack   = flag.Float64("alloc-slack", 2, "absolute allocs/op allowance on top of the relative headroom")
+		extraTol     = flag.Float64("extra-tolerance", 0.20, "relative headroom on custom per-op metrics (wirebytes/op, …), which are machine-independent like allocs")
 		update       = flag.Bool("update", false, "write the measured results as the new baseline instead of comparing")
 		note         = flag.String("note", "", "provenance note stored in the baseline on -update")
 		slowdown     = flag.Float64("slowdown", 1.0, "scale measured ns/op before comparing (demo/testing of the gate itself)")
@@ -77,6 +78,14 @@ func main() {
 			if r.BytesPerOp > merged[i].BytesPerOp {
 				merged[i].BytesPerOp = r.BytesPerOp
 			}
+			for unit, v := range r.Extra {
+				if merged[i].Extra == nil {
+					merged[i].Extra = make(map[string]float64)
+				}
+				if v > merged[i].Extra[unit] {
+					merged[i].Extra[unit] = v
+				}
+			}
 		}
 		b := &benchfmt.Baseline{Note: *note, Benchmarks: merged}
 		if err := benchfmt.WriteBaseline(*baselinePath, b); err != nil {
@@ -94,6 +103,7 @@ func main() {
 		Ns:         *tolerance,
 		Allocs:     *allocTol,
 		AllocSlack: *allocSlack,
+		Extra:      *extraTol,
 	})
 
 	fmt.Printf("benchgate: %d measured, %d baselined, ns/op tolerance +%.0f%%, allocs/op tolerance +%.0f%%+%g\n",

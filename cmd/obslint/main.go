@@ -5,13 +5,26 @@
 // naming conventions the exposition endpoint promises; drift breaks
 // dashboards silently, so CI runs this lint alongside staticcheck.
 //
-//	obslint [dir ...]    # defaults to the current directory tree
+// Two opt-in modes extend the contract to documentation:
+//
+//	-doclint    every package must carry a package doc comment, and every
+//	            exported constant must be covered by a doc comment —
+//	            either its own or its const block's (a block doc covers
+//	            the whole block, so enumerations like keysyms document
+//	            once).
+//	-mdlinks    every relative link in the markdown tree must resolve to
+//	            an existing file (anchors and absolute URLs are skipped).
+//
+// Usage:
+//
+//	obslint [-doclint] [-mdlinks] [dir ...]    # defaults to the current tree
 //
 // Test files are exempt (they register throwaway names on private
 // registries); generated and vendored trees are skipped.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -28,8 +41,14 @@ import (
 
 var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
 
+var (
+	docLint = flag.Bool("doclint", false, "also require package docs and exported-constant docs")
+	mdLinks = flag.Bool("mdlinks", false, "also check that relative markdown links resolve")
+)
+
 func main() {
-	roots := os.Args[1:]
+	flag.Parse()
+	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
@@ -38,6 +57,12 @@ func main() {
 		if err := lintTree(root, &bad); err != nil {
 			fmt.Fprintln(os.Stderr, "obslint:", err)
 			os.Exit(2)
+		}
+		if *mdLinks {
+			if err := lintMarkdownTree(root, &bad); err != nil {
+				fmt.Fprintln(os.Stderr, "obslint:", err)
+				os.Exit(2)
+			}
 		}
 	}
 	bad += lintStageNames()
@@ -48,7 +73,11 @@ func main() {
 }
 
 func lintTree(root string, bad *int) error {
-	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+	// pkgDocs tracks, per directory, whether any non-test file carries a
+	// package doc comment — the doc may live in any file of the package,
+	// so the verdict is per directory, not per file.
+	pkgDocs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -62,22 +91,50 @@ func lintTree(root string, bad *int) error {
 		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 			return nil
 		}
-		*bad += lintFile(path)
+		*bad += lintFile(path, pkgDocs)
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	if *docLint {
+		for dir, has := range pkgDocs {
+			if !has {
+				fmt.Fprintf(os.Stderr, "%s: package has no package doc comment in any file\n", dir)
+				*bad++
+			}
+		}
+	}
+	return nil
 }
 
 // lintFile reports naming violations in one source file: any call of the
 // form <expr>.Counter("name")/Gauge("name")/Histogram("name", ...) with a
-// literal name is checked against the contract.
-func lintFile(path string) int {
+// literal name is checked against the contract. With -doclint it also
+// records whether the file carries the package doc and checks exported
+// constant documentation.
+func lintFile(path string, pkgDocs map[string]bool) int {
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, nil, 0)
+	mode := parser.Mode(0)
+	if *docLint {
+		mode = parser.ParseComments
+	}
+	f, err := parser.ParseFile(fset, path, nil, mode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "obslint: %s: %v\n", path, err)
 		return 1
 	}
 	bad := 0
+	if *docLint {
+		dir := filepath.Dir(path)
+		if _, seen := pkgDocs[dir]; !seen {
+			pkgDocs[dir] = false
+		}
+		if f.Doc != nil {
+			pkgDocs[dir] = true
+		}
+		bad += lintConstDocs(fset, f)
+	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || len(call.Args) == 0 {
@@ -108,6 +165,41 @@ func lintFile(path string) int {
 	return bad
 }
 
+// lintConstDocs requires every exported top-level constant to be covered
+// by a doc comment. Coverage is hierarchical: the const block's doc
+// comment covers every name in the block (so a documented enumeration —
+// keysyms, encoding ids — documents once), a ValueSpec's own doc or
+// trailing line comment covers that spec, and otherwise the name is
+// reported. Wire and encoding constants are the motivating case: an
+// undocumented protocol constant is an undocumented wire commitment.
+func lintConstDocs(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		if gd.Doc != nil {
+			continue // block doc covers the whole declaration
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || vs.Doc != nil || vs.Comment != nil {
+				continue
+			}
+			for _, id := range vs.Names {
+				if !id.IsExported() {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "%s: exported constant %s has no doc comment (own, line, or const-block)\n",
+					fset.Position(id.Pos()), id.Name)
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
 func checkMetric(kind, name string) []string {
 	var msgs []string
 	if !snakeCase.MatchString(name) {
@@ -124,6 +216,56 @@ func checkMetric(kind, name string) []string {
 		}
 	}
 	return msgs
+}
+
+// mdLinkPattern matches inline markdown links and captures the target.
+// Reference-style links and autolinks are out of scope — the tree uses
+// inline links only.
+var mdLinkPattern = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// lintMarkdownTree checks every relative link in the tree's .md files:
+// the target, resolved against the file's directory and stripped of any
+// #fragment, must exist. Absolute URLs and pure-fragment links are
+// skipped (the former are external, the latter need a markdown anchor
+// model this lint deliberately doesn't have).
+func lintMarkdownTree(root string, bad *int) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "vendor" || name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLinkPattern.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: broken relative link %q (%s does not exist)\n", path, m[1], resolved)
+				*bad++
+			}
+		}
+		return nil
+	})
 }
 
 // lintStageNames checks the trace stage vocabulary itself — the span

@@ -92,8 +92,12 @@ type config struct {
 	demoSteps             int
 }
 
-// homeFactory builds one household's full stack per admission.
+// homeFactory builds one household's full stack per admission. All homes
+// share one content-addressed tile cache: the hub's homes render nearly
+// identical control panels, so after the first home encodes a widget body
+// every other home's session ships an 8-byte reference to it.
 func homeFactory(classes []string, w, h int) hub.Factory {
+	tiles := uniint.NewTileCache(0)
 	return func(homeID string) (hub.Home, error) {
 		apps := make([]appliance.Appliance, 0, len(classes))
 		for i, class := range classes {
@@ -105,6 +109,7 @@ func homeFactory(classes []string, w, h int) hub.Factory {
 		}
 		return uniint.NewSessionForHub(uniint.Options{
 			Width: w, Height: h, Name: homeID, Appliances: apps,
+			Tiles: tiles,
 		})
 	}
 }

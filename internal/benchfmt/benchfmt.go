@@ -35,6 +35,10 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// BytesPerOp is heap bytes per operation (-1 when not reported).
 	BytesPerOp float64 `json:"bytes_per_op"`
+	// Extra holds custom b.ReportMetric units (e.g. "wirebytes/op"),
+	// keyed by unit. Extras are cost metrics: the gate fails when a
+	// measured value exceeds its baselined ceiling, same as ns/op.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Baseline is the committed snapshot the gate compares against.
@@ -80,13 +84,23 @@ func ParseGoBench(r io.Reader) ([]Result, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				res.NsPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
 			case "B/op":
 				res.BytesPerOp = v
+			default:
+				// Custom b.ReportMetric units ("wirebytes/op", "px/op",
+				// "MB/s", …): keep the per-op ones — they are stable cost
+				// metrics; throughput units vary with the machine.
+				if strings.HasSuffix(unit, "/op") {
+					if res.Extra == nil {
+						res.Extra = make(map[string]float64)
+					}
+					res.Extra[unit] = v
+				}
 			}
 		}
 		if res.NsPerOp > 0 {
@@ -153,6 +167,10 @@ type Tolerances struct {
 	// headroom, absorbing ±1 jitter on benchmarks with timers/waits in
 	// the loop.
 	AllocSlack float64
+	// Extra is the relative headroom on custom per-op metrics (Extra
+	// map). Zero means "use the ns/op headroom". Custom metrics are
+	// treated as costs: bigger than the baselined ceiling fails.
+	Extra float64
 }
 
 // Compare evaluates measured results against the baseline. Baseline
@@ -180,6 +198,25 @@ func Compare(base, cur []Result, tol Tolerances) (regressions []Regression, miss
 			if limit := b.AllocsPerOp*(1+tol.Allocs) + tol.AllocSlack; c.AllocsPerOp > limit {
 				regressions = append(regressions, Regression{
 					Name: b.Name, Metric: "allocs/op", Base: b.AllocsPerOp, Cur: c.AllocsPerOp, Limit: limit,
+				})
+			}
+		}
+		extraTol := tol.Extra
+		if extraTol == 0 {
+			extraTol = tol.Ns
+		}
+		for unit, bv := range b.Extra {
+			cv, ok := c.Extra[unit]
+			if !ok {
+				// The benchmark stopped reporting a baselined metric: a
+				// silent way to lose the wire-bytes gate, so treat it as
+				// the metric vanishing entirely.
+				missing = append(missing, b.Name+" "+unit)
+				continue
+			}
+			if limit := bv * (1 + extraTol); cv > limit {
+				regressions = append(regressions, Regression{
+					Name: b.Name, Metric: unit, Base: bv, Cur: cv, Limit: limit,
 				})
 			}
 		}

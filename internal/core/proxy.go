@@ -155,8 +155,11 @@ func DialResume(conn net.Conn, token string) (*Proxy, error) {
 		return nil, fmt.Errorf("core: dial server: %w", err)
 	}
 	c := NewProxy(client)
-	// Advertise the compact encodings the proxy can decode.
+	// Advertise the compact encodings the proxy can decode, wire-tier
+	// first: tile references/installs and dictionary-zlib save the most
+	// bytes, then the content-adaptive set.
 	if err := client.SetEncodings([]int32{
+		rfb.EncTileRef, rfb.EncTileInstall, rfb.EncZlibDict,
 		rfb.EncHextile, rfb.EncRRE, rfb.EncZlib, rfb.EncCopyRect, rfb.EncRaw,
 	}); err != nil {
 		client.Close()

@@ -12,6 +12,12 @@
 // The hub is deliberately ignorant of what a home is — it hosts anything
 // implementing Home. The root uniint package provides the production
 // implementation (uniint.NewSessionForHub); tests substitute stubs.
+//
+// Homes hosted by one hub typically share a single content-addressed tile
+// cache (uniint.Options.Tiles), so the Nth identical control panel encodes
+// once and later sessions ship cache references. The cache is keyed by
+// content hash, not by home, so it survives idle eviction of the homes
+// that populated it.
 package hub
 
 import (

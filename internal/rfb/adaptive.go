@@ -35,11 +35,16 @@ const adaptiveProbeBudget = 256
 const adaptiveMaxHextileColors = 24
 
 // Encoding capability bits, derived from the client's SetEncodings.
+// Exactly eight bits: the mask lives in a uint8.
 const (
 	encBitRaw = 1 << iota
 	encBitRRE
 	encBitHextile
 	encBitZlib
+	encBitZlibDict
+	encBitCopyRect
+	encBitTileRef
+	encBitTileInstall
 )
 
 var (
@@ -73,6 +78,14 @@ func encodingMask(encs []int32) uint8 {
 			m |= encBitHextile
 		case EncZlib:
 			m |= encBitZlib
+		case EncZlibDict:
+			m |= encBitZlibDict
+		case EncCopyRect:
+			m |= encBitCopyRect
+		case EncTileRef:
+			m |= encBitTileRef
+		case EncTileInstall:
+			m |= encBitTileInstall
 		}
 	}
 	return m

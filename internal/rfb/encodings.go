@@ -24,6 +24,8 @@ func encodeRect(dst []byte, enc int32, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.P
 		return encodeHextile(dst, fb, r, pf, sc), nil
 	case EncZlib:
 		return encodeZlib(dst, fb, r, pf, sc)
+	case EncZlibDict:
+		return encodeZlibDict(dst, fb, r, pf, sc)
 	default:
 		return nil, fmt.Errorf("rfb: cannot encode with %s", EncodingName(enc))
 	}
@@ -42,6 +44,12 @@ func decodeRect(rd io.Reader, enc int32, fb *gfx.Framebuffer, r gfx.Rect, pf gfx
 		return decodeHextile(rd, fb, r, pf, dsc)
 	case EncZlib:
 		return decodeZlib(rd, fb, r, pf, dsc)
+	case EncZlibDict:
+		return decodeZlibDict(rd, fb, r, pf, dsc)
+	case EncTileInstall:
+		return decodeTileInstall(rd, fb, r, pf, dsc)
+	case EncTileRef:
+		return decodeTileRef(rd, fb, r, dsc)
 	default:
 		return fmt.Errorf("rfb: cannot decode %s: %w", EncodingName(enc), ErrBadMessage)
 	}
@@ -356,6 +364,14 @@ func encodeZlib(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat,
 }
 
 func decodeZlib(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, dsc *decodeScratch) error {
+	return decodeZlibBody(rd, fb, r, pf, dsc, nil)
+}
+
+// decodeZlibBody reads one length-prefixed zlib stream and paints the
+// decompressed raw pre-image into fb at r. dict is the preset dictionary
+// the stream's FDICT header demands (nil for plain EncZlib); the stdlib
+// reader verifies the dictionary checksum against the header.
+func decodeZlibBody(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, dsc *decodeScratch, dict []byte) error {
 	n, err := readU32(rd)
 	if err != nil {
 		return err
@@ -377,13 +393,107 @@ func decodeZlib(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelForma
 		dsc.zrr.Reset(dsc.comp)
 	}
 	if dsc.zr == nil {
-		zr, err := zlib.NewReader(dsc.zrr)
+		zr, err := zlib.NewReaderDict(dsc.zrr, dict)
 		if err != nil {
 			return fmt.Errorf("rfb: zlib decode: %w", err)
 		}
 		dsc.zr = zr.(zlibResetter)
-	} else if err := dsc.zr.Reset(dsc.zrr, nil); err != nil {
+	} else if err := dsc.zr.Reset(dsc.zrr, dict); err != nil {
 		return fmt.Errorf("rfb: zlib decode: %w", err)
 	}
 	return decodeRaw(dsc.zr, fb, r, pf, dsc)
+}
+
+// --- ZlibDict ------------------------------------------------------------
+//
+// Same wire shape as Zlib (u32 length + one independent zlib stream), but
+// the stream is compressed against the preset per-format dictionary both
+// ends derive from the toolkit (dict.go), announced through zlib's FDICT
+// header.
+
+func encodeZlibDict(dst []byte, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, sc *encodeScratch) ([]byte, error) {
+	sc.raw = encodeRaw(sc.raw[:0], fb, r, pf)
+	sc.zbuf.Reset()
+	if sc.zwd == nil || sc.zwdPF != pf {
+		zw, err := zlib.NewWriterLevelDict(&sc.zbuf, zlib.DefaultCompression, dictFor(pf))
+		if err != nil {
+			return nil, fmt.Errorf("rfb: zlib-dict encode: %w", err)
+		}
+		sc.zwd, sc.zwdPF = zw, pf
+	} else {
+		sc.zwd.Reset(&sc.zbuf)
+	}
+	if _, err := sc.zwd.Write(sc.raw); err != nil {
+		return nil, fmt.Errorf("rfb: zlib-dict encode: %w", err)
+	}
+	if err := sc.zwd.Close(); err != nil {
+		return nil, fmt.Errorf("rfb: zlib-dict close: %w", err)
+	}
+	var hdr [4]byte
+	be.PutUint32(hdr[:], uint32(sc.zbuf.Len()))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, sc.zbuf.Bytes()...)
+	mDictRects.Inc()
+	mDictBytes.Add(int64(4 + sc.zbuf.Len()))
+	return dst, nil
+}
+
+func decodeZlibDict(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, dsc *decodeScratch) error {
+	return decodeZlibBody(rd, fb, r, pf, dsc, dictFor(pf))
+}
+
+// --- Tile install / ref --------------------------------------------------
+//
+// EncTileInstall: u64 content hash + s32 inner encoding + inner body. The
+// inner body paints the rectangle like any update, and the decoded pixels
+// are additionally retained in the connection's tile memory under the
+// hash. EncTileRef: u64 hash alone; the remembered pixels are replayed.
+// Both ends run the same fixed-capacity LRU over the install/ref stream
+// (tilecache.go), so a ref only ever names a tile still remembered.
+
+func decodeTileInstall(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, pf gfx.PixelFormat, dsc *decodeScratch) error {
+	hash, err := readU64(rd)
+	if err != nil {
+		return err
+	}
+	encU, err := readU32(rd)
+	if err != nil {
+		return err
+	}
+	inner := int32(encU)
+	switch inner {
+	case EncRaw, EncRRE, EncHextile:
+	default:
+		return fmt.Errorf("rfb: tile install with inner %s: %w", EncodingName(inner), ErrBadMessage)
+	}
+	if !rectInside(r, fb) {
+		return fmt.Errorf("rfb: tile install outside framebuffer: %w", ErrBadMessage)
+	}
+	if err := decodeRect(rd, inner, fb, r, pf, dsc); err != nil {
+		return err
+	}
+	if dsc != nil {
+		dsc.tiles.install(hash, fb, r)
+	}
+	return nil
+}
+
+func decodeTileRef(rd io.Reader, fb *gfx.Framebuffer, r gfx.Rect, dsc *decodeScratch) error {
+	hash, err := readU64(rd)
+	if err != nil {
+		return err
+	}
+	if !rectInside(r, fb) {
+		return fmt.Errorf("rfb: tile ref outside framebuffer: %w", ErrBadMessage)
+	}
+	if dsc == nil || !dsc.tiles.replay(hash, fb, r) {
+		return fmt.Errorf("rfb: tile ref to unknown tile %016x: %w", hash, ErrBadMessage)
+	}
+	return nil
+}
+
+// rectInside reports whether r lies fully inside fb — the precondition for
+// the tile encodings' direct pixel-slice access.
+func rectInside(r gfx.Rect, fb *gfx.Framebuffer) bool {
+	return !r.Empty() && r.X >= 0 && r.Y >= 0 && r.MaxX() <= fb.W() && r.MaxY() <= fb.H()
 }

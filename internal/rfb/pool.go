@@ -25,11 +25,14 @@ var (
 	mPoolGets   = metrics.Default().Counter("rfb_scratch_pool_gets_total")
 	mPoolMisses = metrics.Default().Counter("rfb_scratch_pool_misses_total")
 
-	mBytesRaw     = metrics.Default().Counter("rfb_encode_raw_bytes_total")
-	mBytesRRE     = metrics.Default().Counter("rfb_encode_rre_bytes_total")
-	mBytesHextile = metrics.Default().Counter("rfb_encode_hextile_bytes_total")
-	mBytesZlib    = metrics.Default().Counter("rfb_encode_zlib_bytes_total")
-	mBytesCopy    = metrics.Default().Counter("rfb_encode_copyrect_bytes_total")
+	mBytesRaw         = metrics.Default().Counter("rfb_encode_raw_bytes_total")
+	mBytesRRE         = metrics.Default().Counter("rfb_encode_rre_bytes_total")
+	mBytesHextile     = metrics.Default().Counter("rfb_encode_hextile_bytes_total")
+	mBytesZlib        = metrics.Default().Counter("rfb_encode_zlib_bytes_total")
+	mBytesCopy        = metrics.Default().Counter("rfb_encode_copyrect_bytes_total")
+	mBytesZlibDict    = metrics.Default().Counter("rfb_encode_zlibdict_bytes_total")
+	mBytesTileInstall = metrics.Default().Counter("rfb_encode_tileinstall_bytes_total")
+	mBytesTileRef     = metrics.Default().Counter("rfb_encode_tileref_bytes_total")
 )
 
 // countEncodedBytes attributes one rectangle body to its encoding's
@@ -46,6 +49,12 @@ func countEncodedBytes(enc int32, n int) {
 		mBytesZlib.Add(int64(n))
 	case EncCopyRect:
 		mBytesCopy.Add(int64(n))
+	case EncZlibDict:
+		mBytesZlibDict.Add(int64(n))
+	case EncTileInstall:
+		mBytesTileInstall.Add(int64(n))
+	case EncTileRef:
+		mBytesTileRef.Add(int64(n))
 	}
 }
 
@@ -159,6 +168,12 @@ type encodeScratch struct {
 	raw  []byte       // zlib: staging buffer for the raw pre-image
 	zbuf bytes.Buffer // zlib: compressed output staging
 	zw   *zlib.Writer // zlib: reusable compressor
+
+	// zlib-dict compressor: Reset retains the preset dictionary, so the
+	// writer is only rebuilt when the pixel format (and with it the
+	// dictionary) changes.
+	zwd   *zlib.Writer
+	zwdPF gfx.PixelFormat
 }
 
 var scratchPool = sync.Pool{
@@ -188,6 +203,8 @@ type decodeScratch struct {
 	comp []byte        // zlib: compressed body staging
 	zr   zlibResetter  // zlib: reusable decompressor
 	zrr  *bytes.Reader // zlib: reusable source reader
+
+	tiles clientTiles // tile encodings: the connection's tile memory
 }
 
 // zlibResetter is the stdlib's resettable zlib reader (zlib.NewReader

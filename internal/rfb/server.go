@@ -243,7 +243,7 @@ func (s *ServerConn) PreferredEncoding() int32 {
 func (s *ServerConn) preferredLocked() int32 {
 	for _, e := range s.encodings {
 		switch e {
-		case EncRaw, EncRRE, EncHextile, EncZlib:
+		case EncRaw, EncRRE, EncHextile, EncZlib, EncZlibDict:
 			return e
 		}
 	}
@@ -455,6 +455,21 @@ func (p *PreparedUpdate) Release() {
 // update is backed by pooled scratch; pass it to SendPrepared or Release
 // it.
 func (s *ServerConn) PrepareUpdate(fb *gfx.Framebuffer, rects []UpdateRect) (*PreparedUpdate, error) {
+	return s.prepareUpdate(fb, rects, nil)
+}
+
+// PrepareUpdateWire is PrepareUpdate with the wire-efficiency tier: ws
+// tracks what this session's client already holds, letting EncAdaptive
+// rectangles resolve to CopyRect moves, tile references/installs and
+// dictionary-zlib in addition to the content-adaptive encodings — always
+// restricted to what the client advertised. Every encoded rectangle is
+// committed into ws, so prepared updates must be sent to the client in
+// preparation order; call ws.Reset after a failed send or prepare.
+func (s *ServerConn) PrepareUpdateWire(fb *gfx.Framebuffer, rects []UpdateRect, ws *WireState) (*PreparedUpdate, error) {
+	return s.prepareUpdate(fb, rects, ws)
+}
+
+func (s *ServerConn) prepareUpdate(fb *gfx.Framebuffer, rects []UpdateRect, ws *WireState) (*PreparedUpdate, error) {
 	pf, gen := s.pixelFormatGen()
 	s.smu.Lock()
 	mask := s.encMask
@@ -471,26 +486,42 @@ func (s *ServerConn) PrepareUpdate(fb *gfx.Framebuffer, rects []UpdateRect) (*Pr
 	for i := range prep.rects {
 		ur := &prep.rects[i]
 		start := len(prep.buf)
-		if ur.Encoding == EncCopyRect {
+		switch {
+		case ur.Encoding == EncCopyRect:
 			var b [4]byte
 			be.PutUint16(b[0:], uint16(ur.CopySrcX))
 			be.PutUint16(b[2:], uint16(ur.CopySrcY))
 			prep.buf = append(prep.buf, b[:]...)
-			prep.spans = append(prep.spans, [2]int{start, len(prep.buf)})
-			countEncodedBytes(EncCopyRect, 4)
-			continue
+
+		case ur.Encoding == EncAdaptive && ws != nil && fb != nil:
+			buf, enc, err := ws.selectAndEncode(prep.buf, fb, ur, pf, mask, fallback, sc)
+			if err != nil {
+				prep.Release()
+				ws.Reset()
+				return nil, err
+			}
+			prep.buf = buf
+			ur.Encoding = enc
+
+		default:
+			if ur.Encoding == EncAdaptive {
+				ur.Encoding = chooseEncoding(fb, ur.Rect, mask, fallback, sc)
+			}
+			buf, err := encodeRect(prep.buf, ur.Encoding, fb, ur.Rect, pf, sc)
+			if err != nil {
+				prep.Release()
+				if ws != nil {
+					ws.Reset()
+				}
+				return nil, err
+			}
+			prep.buf = buf
 		}
-		if ur.Encoding == EncAdaptive {
-			ur.Encoding = chooseEncoding(fb, ur.Rect, mask, fallback, sc)
-		}
-		buf, err := encodeRect(prep.buf, ur.Encoding, fb, ur.Rect, pf, sc)
-		if err != nil {
-			prep.Release()
-			return nil, err
-		}
-		prep.buf = buf
 		prep.spans = append(prep.spans, [2]int{start, len(prep.buf)})
 		countEncodedBytes(ur.Encoding, len(prep.buf)-start)
+		if ws != nil {
+			ws.commit(fb, ur)
+		}
 	}
 	return prep, nil
 }

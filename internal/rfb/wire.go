@@ -70,6 +70,27 @@ const (
 	EncZlib     int32 = 6
 )
 
+// Wire-efficiency tier encodings (protocol extensions; values live above
+// RFB's assigned range). A client opts in through SetEncodings like any
+// other encoding; servers never emit them unadvertised.
+const (
+	// EncZlibDict is zlib with a preset dictionary: the body is a u32
+	// length followed by an independent zlib stream whose FDICT dictionary
+	// is the static per-pixel-format dictionary both ends derive from the
+	// toolkit's glyph rows and theme colors (see dict.go). Repeated text
+	// and widget chrome match the dictionary on the very first update,
+	// before any history exists.
+	EncZlibDict int32 = 100
+	// EncTileInstall carries a content-addressed tile: u64 FNV-1a hash of
+	// the tile pixels, an s32 inner encoding, and the inner body. The
+	// client decodes the inner body AND retains the decoded pixels in its
+	// tile window under the hash, so a later EncTileRef can replay them.
+	EncTileInstall int32 = 101
+	// EncTileRef replays a previously installed tile: the body is just the
+	// u64 hash. Rect geometry must match the installed tile's geometry.
+	EncTileRef int32 = 102
+)
+
 // EncodingName returns a human-readable name for an encoding constant.
 func EncodingName(e int32) string {
 	switch e {
@@ -83,6 +104,12 @@ func EncodingName(e int32) string {
 		return "hextile"
 	case EncZlib:
 		return "zlib"
+	case EncZlibDict:
+		return "zlibdict"
+	case EncTileInstall:
+		return "tileinstall"
+	case EncTileRef:
+		return "tileref"
 	default:
 		return fmt.Sprintf("enc(%d)", e)
 	}
@@ -161,6 +188,14 @@ func readU32(r io.Reader) (uint32, error) {
 		return 0, err
 	}
 	return be.Uint32(b[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return be.Uint64(b[:]), nil
 }
 
 // be is the wire byte order for message headers (network order, as in RFB).

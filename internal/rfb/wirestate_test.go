@@ -1,0 +1,330 @@
+package rfb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"uniint/internal/gfx"
+)
+
+// gradientFrame fills a frame with pixels unique per coordinate, so no
+// two regions ever match by accident — worst case for CopyRect search,
+// ideal for asserting where a match was found.
+func gradientFrame(w, h int) *gfx.Framebuffer {
+	f := gfx.NewFramebuffer(w, h)
+	pix := f.Pix()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pix[y*w+x] = gfx.RGB(uint8(x), uint8(y), uint8(x*31+y*17))
+		}
+	}
+	return f
+}
+
+const allEncBits = encBitRaw | encBitRRE | encBitHextile | encBitZlib |
+	encBitZlibDict | encBitCopyRect | encBitTileRef | encBitTileInstall
+
+// TestCopyRectSourceMustBeInsideShadow: a candidate source rectangle that
+// hangs partially outside the shadow references client pixels the server
+// cannot know, so the search must skip it even when the visible part
+// matches perfectly.
+func TestCopyRectSourceMustBeInsideShadow(t *testing.T) {
+	const w, h = 96, 96
+	pf := gfx.PF32()
+	shadow := gradientFrame(w, h)
+	ws := NewWireState(nil, w, h)
+	full := &UpdateRect{Rect: shadow.Bounds(), Encoding: EncRaw}
+	ws.commit(shadow, full)
+
+	// New content: every row shifted down by 8 — row y now shows what the
+	// client holds at y-8. For a rect at the top edge the matching source
+	// (y offset -8) starts above the shadow; rows 0..7 get fresh content
+	// that exists nowhere in the shadow.
+	next := gfx.NewFramebuffer(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if y < 8 {
+				next.Pix()[y*w+x] = gfx.RGB(200, uint8(x), uint8(y))
+			} else {
+				next.Pix()[y*w+x] = shadow.At(x, y-8)
+			}
+		}
+	}
+
+	sc := getScratch()
+	defer putScratch(sc)
+	mask := uint8(encBitRaw | encBitCopyRect) // no tile bits: isolate the copy path
+
+	// Top-edge rect: only plausible source is out of bounds — no CopyRect.
+	ur := &UpdateRect{Rect: gfx.R(0, 0, 64, 32), Encoding: EncAdaptive}
+	_, enc, err := ws.selectAndEncode(nil, next, ur, pf, mask, EncRaw, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc == EncCopyRect {
+		t.Fatalf("CopyRect chosen with source rows %d..%d outside the shadow", -8, 32-8)
+	}
+
+	// Interior rect: source fully inside — the same shift is now usable.
+	ur = &UpdateRect{Rect: gfx.R(0, 16, 64, 32), Encoding: EncAdaptive}
+	_, enc, err = ws.selectAndEncode(nil, next, ur, pf, mask, EncRaw, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc != EncCopyRect {
+		t.Fatalf("interior shifted rect encoded as %s, want CopyRect", EncodingName(enc))
+	}
+	if ur.CopySrcX != 0 || ur.CopySrcY != 8 {
+		t.Fatalf("CopyRect source (%d,%d), want (0,8)", ur.CopySrcX, ur.CopySrcY)
+	}
+}
+
+// TestWireStateResetForcesReinstall: Reset models a resumed session — the
+// reconnecting client's tile memory is empty and its framebuffer unknown,
+// so previously referenced tiles must re-install and CopyRect must stay
+// off until a full-bounds repaint revalidates the shadow.
+func TestWireStateResetForcesReinstall(t *testing.T) {
+	const w, h = 64, 64
+	pf := gfx.PF32()
+	fb := gradientFrame(w, h)
+	ws := NewWireState(nil, w, h)
+	sc := getScratch()
+	defer putScratch(sc)
+
+	r := gfx.R(8, 8, 40, 20)
+	encodeOnce := func() int32 {
+		ur := &UpdateRect{Rect: r, Encoding: EncAdaptive}
+		_, enc, err := ws.selectAndEncode(nil, fb, ur, pf, allEncBits, EncRaw, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws.commit(fb, ur)
+		return enc
+	}
+
+	if enc := encodeOnce(); enc != EncTileInstall {
+		t.Fatalf("first sight encoded as %s, want TileInstall", EncodingName(enc))
+	}
+	if enc := encodeOnce(); enc != EncTileRef {
+		t.Fatalf("second sight encoded as %s, want TileRef", EncodingName(enc))
+	}
+
+	ws.Reset()
+	if enc := encodeOnce(); enc != EncTileInstall {
+		t.Fatalf("post-Reset sight encoded as %s, want TileInstall (client memory is fresh)", EncodingName(enc))
+	}
+
+	// The shadow is distrusted after Reset: identical content that would
+	// self-copy must not choose CopyRect until a full-bounds rect ships.
+	big := gfx.R(0, 0, 64, 40)
+	ur := &UpdateRect{Rect: big, Encoding: EncAdaptive}
+	_, enc, err := ws.selectAndEncode(nil, fb, ur, pf, encBitRaw|encBitCopyRect, EncRaw, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc == EncCopyRect {
+		t.Fatal("CopyRect chosen against a distrusted shadow")
+	}
+	ws.commit(fb, ur)
+
+	fullUR := &UpdateRect{Rect: fb.Bounds(), Encoding: EncRaw}
+	ws.commit(fb, fullUR)
+	ur = &UpdateRect{Rect: big, Encoding: EncAdaptive}
+	_, enc, err = ws.selectAndEncode(nil, fb, ur, pf, encBitRaw|encBitCopyRect, EncRaw, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc != EncCopyRect {
+		t.Fatalf("unchanged content after revalidation encoded as %s, want CopyRect self-copy", EncodingName(enc))
+	}
+}
+
+// TestTileCacheEvictionUnderPressure: the shared cache honors its byte
+// budget by evicting least-recently-used bodies, and a session whose tile
+// was evicted re-encodes a byte-identical install body (the encoders are
+// deterministic), so eviction costs CPU, never correctness.
+func TestTileCacheEvictionUnderPressure(t *testing.T) {
+	const w, h = 64, 64
+	pf := gfx.PF32()
+	fb := gradientFrame(w, h)
+	r := gfx.R(4, 4, 48, 24)
+
+	install := func(tc *TileCache) []byte {
+		ws := NewWireState(tc, w, h)
+		sc := getScratch()
+		defer putScratch(sc)
+		ur := &UpdateRect{Rect: r, Encoding: EncAdaptive}
+		body, enc, err := ws.selectAndEncode(nil, fb, ur, pf, allEncBits, EncRaw, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc != EncTileInstall {
+			t.Fatalf("encoded as %s, want TileInstall", EncodingName(enc))
+		}
+		return body
+	}
+
+	tc := NewTileCache(1 << 10)
+	first := install(tc)
+	if tc.Len() != 1 {
+		t.Fatalf("cache holds %d tiles after one install, want 1", tc.Len())
+	}
+
+	// Memory pressure: filler bodies blow the 1KB budget many times over,
+	// evicting the real tile.
+	filler := make([]byte, 300)
+	for i := range filler {
+		filler[i] = byte(i)
+	}
+	for i := 0; i < 32; i++ {
+		tc.Put(tileKey{hash: uint64(i) + 1e6, pf: pf}, EncRaw, filler)
+	}
+	if got := tc.Bytes(); got > 1<<10 {
+		t.Fatalf("cache holds %d bytes, budget is %d", got, 1<<10)
+	}
+	if _, _, ok := tc.Get(tileKey{hash: hashTile(fb, r), pf: pf}); ok {
+		t.Fatal("original tile survived 32 filler installs in a ~3-body budget")
+	}
+
+	// A second session (fresh window) reinstalls the evicted tile; the
+	// re-encoded body is byte-identical to the first.
+	second := install(tc)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("reinstalled body differs from original: %d vs %d bytes", len(second), len(first))
+	}
+}
+
+// TestTileWindowClientLockstep: drive a random install/ref stream through
+// the server's hash window and the client's pixel memory, past eviction
+// churn several times the window capacity. The protocol invariant under
+// test: every hash the server window still holds (every EncTileRef it
+// would emit) is replayable from the client memory.
+func TestTileWindowClientLockstep(t *testing.T) {
+	const w, h = 16, 16
+	fb := gradientFrame(w, h)
+	r := gfx.R(0, 0, 8, 8)
+
+	var win tileWindow
+	win.init()
+	var ct clientTiles
+
+	rng := rand.New(rand.NewSource(11))
+	hashes := make([]uint64, 3*tileWindowCap)
+	for i := range hashes {
+		hashes[i] = uint64(i) + 7
+	}
+	refs := 0
+	for i := 0; i < 8*tileWindowCap; i++ {
+		hh := hashes[rng.Intn(len(hashes))]
+		if win.touch(hh) {
+			refs++
+			if !ct.replay(hh, fb, r) {
+				t.Fatalf("op %d: server window holds %x but client memory does not", i, hh)
+			}
+		} else {
+			win.install(hh)
+			ct.install(hh, fb, r)
+		}
+	}
+	if refs == 0 {
+		t.Fatal("stream produced no refs — the test exercised nothing")
+	}
+	if len(ct.entries) > tileWindowCap {
+		t.Fatalf("client memory grew to %d entries, cap is %d", len(ct.entries), tileWindowCap)
+	}
+}
+
+// TestWireEncodingsDecodeIdenticalToRaw: for random frames and rects, the
+// new wire forms (dictionary zlib, tile install, tile ref) paint exactly
+// the pixels a raw encode of the same rect paints.
+func TestWireEncodingsDecodeIdenticalToRaw(t *testing.T) {
+	formats := []gfx.PixelFormat{gfx.PF32(), gfx.PF16(), gfx.PF8()}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		w := 33 + rng.Intn(48)
+		h := 33 + rng.Intn(48)
+		frame := randomFrame(rng, w, h)
+		r := gfx.R(rng.Intn(w/2), rng.Intn(h/2), 1+rng.Intn(w/2), 1+rng.Intn(h/2)).
+			Intersect(frame.Bounds())
+		if r.Empty() {
+			continue
+		}
+		for _, pf := range formats {
+			// Reference: what a raw round-trip paints.
+			want := gfx.NewFramebuffer(w, h)
+			raw, err := EncodeRectInto(nil, EncRaw, frame, r, pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := decodeRect(bytes.NewReader(raw), EncRaw, want, r, pf, nil); err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(name string, got *gfx.Framebuffer) {
+				t.Helper()
+				for y := r.Y; y < r.MaxY(); y++ {
+					for x := r.X; x < r.MaxX(); x++ {
+						if got.At(x, y) != want.At(x, y) {
+							t.Fatalf("trial %d pf %d-bit %s: pixel (%d,%d) = %06x, raw paints %06x",
+								trial, pf.BitsPerPixel, name, x, y, got.At(x, y), want.At(x, y))
+						}
+					}
+				}
+			}
+
+			// Dictionary zlib.
+			zd, err := EncodeRectInto(nil, EncZlibDict, frame, r, pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := gfx.NewFramebuffer(w, h)
+			if err := decodeRect(bytes.NewReader(zd), EncZlibDict, got, r, pf, &decodeScratch{}); err != nil {
+				t.Fatal(err)
+			}
+			check("zlibdict", got)
+
+			// Tile install, then a ref replaying it elsewhere-in-time: decode
+			// both against one connection scratch (shared tile memory).
+			ws := NewWireState(nil, w, h)
+			sc := getScratch()
+			ur := &UpdateRect{Rect: r, Encoding: EncAdaptive}
+			inst, enc, err := ws.selectAndEncode(nil, frame, ur, pf, allEncBits, EncRaw, sc)
+			putScratch(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if enc != EncTileInstall {
+				// Rect exceeded tile bounds for this trial; the adaptive pick
+				// is covered by the existing round-trip property.
+				continue
+			}
+			dsc := &decodeScratch{}
+			got = gfx.NewFramebuffer(w, h)
+			if err := decodeRect(bytes.NewReader(inst), EncTileInstall, got, r, pf, dsc); err != nil {
+				t.Fatal(err)
+			}
+			check("tileinstall", got)
+
+			ref := make([]byte, 8)
+			be.PutUint64(ref, hashTile(frame, r))
+			got = gfx.NewFramebuffer(w, h)
+			if err := decodeRect(bytes.NewReader(ref), EncTileRef, got, r, pf, dsc); err != nil {
+				t.Fatal(err)
+			}
+			check("tileref", got)
+		}
+	}
+}
+
+// TestTileRefUnknownHashRejected: a ref naming a hash the connection never
+// installed is a protocol violation, not a silent black rectangle.
+func TestTileRefUnknownHashRejected(t *testing.T) {
+	fb := gfx.NewFramebuffer(32, 32)
+	ref := make([]byte, 8)
+	be.PutUint64(ref, 0xDEADBEEF)
+	err := decodeRect(bytes.NewReader(ref), EncTileRef, fb, gfx.R(0, 0, 8, 8), gfx.PF32(), &decodeScratch{})
+	if err == nil {
+		t.Fatal("unknown tile ref decoded without error")
+	}
+}

@@ -56,6 +56,7 @@ type parkedSession struct {
 	hasPending  bool
 	events      []inputEvent // undispatched input at detach, replayed on resume
 	lastPtrMask uint8
+	ws          *rfb.WireState // wire model; Reset (not rebuilt) on resume
 
 	parkedAt time.Time
 	deadline time.Time
@@ -213,6 +214,7 @@ func (s *Server) retire(sess *session, events []inputEvent) bool {
 		hasPending:  sess.hasPending,
 		events:      events,
 		lastPtrMask: sess.lastPtrMask,
+		ws:          sess.ws,
 		parkedAt:    now,
 		deadline:    now.Add(s.parkTTL),
 	}
@@ -259,6 +261,16 @@ func (c *session) adopt(ps *parkedSession) {
 	c.pending = ps.pending
 	c.hasPending = ps.hasPending
 	c.lastPtrMask = ps.lastPtrMask
+	if ps.ws != nil {
+		// Reuse the parked wire model's storage, but distrust its content:
+		// the reconnecting client's tile memory is fresh (tile memory does
+		// not survive a reconnect, only the shadow framebuffer does — and
+		// whether the client actually adopted its old shadow is unknowable
+		// here), so the tile window clears and CopyRect stays off until a
+		// full repaint revalidates the shadow.
+		c.ws = ps.ws
+		c.ws.Reset()
+	}
 	// Traced events that sat out the detach window get a park span —
 	// detach to reclaim — under their own id, so the gap between their
 	// queue enqueue and eventual dispatch is explained in the export.

@@ -55,6 +55,11 @@ type Server struct {
 	pumpBuf  []gfx.Rect
 	pumpSess []*session
 
+	// tiles is the shared content-addressed tile store the wire tier
+	// publishes encoded tile bodies to (nil: no cross-session sharing;
+	// each session still runs its own tile window).
+	tiles *rfb.TileCache
+
 	// The detach lot (lot.go): disconnected sessions parked under their
 	// resume token, waiting out parkTTL for the owner to return.
 	parkTTL    time.Duration
@@ -84,6 +89,17 @@ func WithParkTTL(d time.Duration) Option {
 // at capacity the oldest parked session is expired to make room).
 func WithParkCapacity(n int) Option {
 	return func(s *Server) { s.parkCap = n }
+}
+
+// WithTileCache installs a shared content-addressed tile store: sessions
+// publish freshly encoded tile bodies to it and reuse bodies other
+// sessions already paid to encode. Passing the SAME cache to many servers
+// (the hub does, one per home) extends the sharing across homes — the
+// tentpole of the wire-efficiency tier, since a hub's homes render nearly
+// identical control panels. Nil (the default) disables sharing; tile
+// references within a session still work.
+func WithTileCache(tc *rfb.TileCache) Option {
+	return func(s *Server) { s.tiles = tc }
 }
 
 // New creates a server for the given display. name is announced to
@@ -165,6 +181,7 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		quit:         make(chan struct{}),
 		writerDone:   make(chan struct{}),
 		dispatchDone: make(chan struct{}),
+		ws:           rfb.NewWireState(s.tiles, w, h),
 	}
 	// register atomically swaps a reclaimed lot entry into the live
 	// session set (under the pump mutex, so no damage falls between the
@@ -341,9 +358,13 @@ type session struct {
 	outbox     *gfx.Damage // requested damage awaiting the writer
 	owedEmpty  int         // zero-rect replies owed (empty-region requests)
 
-	// Writer-goroutine-only scratch (no locking needed).
+	// Writer-goroutine-only scratch (no locking needed). ws is the wire
+	// tier's model of the client (shadow framebuffer + tile window); it
+	// parks with the session and is Reset whenever the model can no
+	// longer be trusted (resume, encode error, failed send).
 	spare []gfx.Rect
 	urs   []rfb.UpdateRect
+	ws    *rfb.WireState
 }
 
 // enqueue merges requested rectangles into the outbox and wakes the
@@ -467,7 +488,7 @@ func (c *session) flush(rects []gfx.Rect) {
 		if len(urs) == 0 {
 			return
 		}
-		prep, err = c.conn.PrepareUpdate(fb, urs)
+		prep, err = c.conn.PrepareUpdateWire(fb, urs, c.ws)
 	})
 	encDur := time.Since(start)
 	if tid != 0 {
@@ -501,7 +522,11 @@ func (c *session) flush(rects []gfx.Rect) {
 		// never reached the client — put them back, so the state that
 		// parks in the detach lot is complete and the resync after a
 		// resume re-covers them instead of leaving the client stale.
+		// The wire model assumed the client applied this update (the
+		// shadow and tile window were committed during prepare); the
+		// client's true state is now unknown, so distrust the model.
 		mUpdateDrops.Inc()
+		c.ws.Reset()
 		c.mu.Lock()
 		for _, r := range rects {
 			c.dirty.Add(r)

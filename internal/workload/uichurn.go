@@ -97,9 +97,10 @@ type UIChurn struct {
 	Homes   int
 	Widgets int // mutable widgets per home
 
-	rng  *rand.Rand
-	step int
-	last map[[2]int]UIStep // last step per (home, widget slot)
+	rng   *rand.Rand
+	step  int
+	last  map[[2]int]UIStep // last step per (home, widget slot)
+	texts map[int]string    // interned ticker strings, keyed by their seed
 }
 
 // NewUIChurn builds a churn stream over homes × widgetsPerHome widgets,
@@ -116,6 +117,7 @@ func NewUIChurn(homes, widgetsPerHome int, seed int64) *UIChurn {
 		Widgets: widgetsPerHome,
 		rng:     rand.New(rand.NewSource(seed)),
 		last:    make(map[[2]int]UIStep),
+		texts:   make(map[int]string),
 	}
 }
 
@@ -160,7 +162,16 @@ func (c *UIChurn) Next() UIStep {
 			}
 		}
 	}
-	st.Text = fmt.Sprintf("ticker %04d", 97*st.Value+home*7+slot)
+	// Intern the ticker text: the key space is small (value×home×slot),
+	// so steady-state benchmark loops built on this stream reuse strings
+	// instead of charging a Sprintf allocation to the measured pipeline.
+	tk := 97*st.Value + home*7 + slot
+	text, ok := c.texts[tk]
+	if !ok {
+		text = fmt.Sprintf("ticker %04d", tk)
+		c.texts[tk] = text
+	}
+	st.Text = text
 	c.last[key] = st
 	return st
 }

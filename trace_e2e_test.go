@@ -31,6 +31,9 @@ import (
 // hub-routed interaction traverses from device event to pixels on the
 // wire. hub_route is listed where the wire hands the connection to the
 // home, but its timestamps belong to connection setup (see above).
+// The wire-efficiency tier adds no stage of its own: CopyRect/tile/
+// dictionary selection happens inside PrepareUpdateWire, under the same
+// encode span, so this coverage test also pins the tier's tracing.
 var pipelineStages = []trace.Stage{
 	trace.StageProxyFlush,
 	trace.StageWire,

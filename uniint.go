@@ -26,9 +26,21 @@ import (
 	"uniint/internal/appliance"
 	"uniint/internal/core"
 	"uniint/internal/homeapp"
+	"uniint/internal/rfb"
 	"uniint/internal/toolkit"
 	"uniint/internal/uniserver"
 )
+
+// TileCache is the shared content-addressed store of encoded tile bodies
+// behind the wire-efficiency tier. Create one with NewTileCache and pass
+// it through Options.Tiles to every session (the hub factory does) so the
+// Nth identical home's widget bodies encode once and later sessions ship
+// 8-byte references.
+type TileCache = rfb.TileCache
+
+// NewTileCache returns a tile store bounded by budget bytes of encoded
+// bodies; budget <= 0 selects the default (rfb.DefaultTileCacheBudget).
+func NewTileCache(budget int64) *TileCache { return rfb.NewTileCache(budget) }
 
 // DefaultWidth and DefaultHeight are the served desktop geometry used when
 // Options leaves them zero — the 640×480 surface of an era display.
@@ -46,6 +58,10 @@ type Options struct {
 	// Appliances are attached to the home network before the GUI is
 	// first generated. More can be added later via Session.Home.
 	Appliances []appliance.Appliance
+	// Tiles, when non-nil, is the shared tile store this session's server
+	// publishes encoded tiles to (see TileCache). Nil keeps tile reuse
+	// within each connection.
+	Tiles *TileCache
 }
 
 // Session is a fully wired universal-interaction stack.
@@ -91,7 +107,11 @@ func assemble(opts Options) (*appliance.Home, *toolkit.Display, *homeapp.App, *u
 
 	display := toolkit.NewDisplay(opts.Width, opts.Height)
 	app := homeapp.New(home.Network(), display)
-	server := uniserver.New(display, opts.Name)
+	var sopts []uniserver.Option
+	if opts.Tiles != nil {
+		sopts = append(sopts, uniserver.WithTileCache(opts.Tiles))
+	}
+	server := uniserver.New(display, opts.Name, sopts...)
 	return home, display, app, server, nil
 }
 
