@@ -8,11 +8,17 @@
 GO       ?= go
 # Benchmarks gated in CI: the input hot path, the encoding suite (whose
 # allocs/op pins the zero-allocation contract), the pooled/adaptive
-# pipeline, hub routing, and the damage-clipped render path (whose
+# pipeline, hub routing, the damage-clipped render path (whose
 # allocs/op pins the zero-allocation incremental-render contract and whose
-# ns/op pins the ≥10x widget-vs-full-repaint win).
-GATE_BENCH ?= BenchmarkE1InputLatency|BenchmarkE2Encoding|BenchmarkE2bPooled|BenchmarkE2bAdaptive|BenchmarkHubRoute|BenchmarkRenderFull|BenchmarkResume|BenchmarkE2bRoam|BenchmarkE2bWire
+# ns/op pins the ≥10x widget-vs-full-repaint win), and the session
+# footprint (whose bytes/session and goroutines/session pin the budgeted
+# event runtime — the goroutines/session baseline is 0, with no headroom).
+GATE_BENCH ?= BenchmarkE1InputLatency|BenchmarkE2Encoding|BenchmarkE2bPooled|BenchmarkE2bAdaptive|BenchmarkHubRoute|BenchmarkRenderFull|BenchmarkResume|BenchmarkE2bRoam|BenchmarkE2bWire|BenchmarkSessionFootprint
 BENCHTIME  ?= 100x
+# Packages holding gated benchmarks: the root end-to-end suite plus the
+# event runtime (timer-wheel re-arm). Patterns that match nothing in a
+# package are simply skipped there.
+BENCH_PKGS ?= . ./internal/sched
 # Sub-100µs benchmarks run with many more iterations: at 100x a ~3µs/op
 # bench measures a ~0.3ms window, where a single scheduler preemption on a
 # shared runner blows through NS_TOL. 10000x widens the window ~100x and
@@ -20,7 +26,7 @@ BENCHTIME  ?= 100x
 # time is small. The Input* set pins the batched/coalesced input pipeline
 # at zero allocations per event end to end (wire write, read loop, queue,
 # dispatch).
-GATE_BENCH_MICRO ?= BenchmarkRenderWidget|BenchmarkRenderText|BenchmarkE2bRender|BenchmarkInputBatch|BenchmarkInputCoalesce|BenchmarkInputFlood|BenchmarkE2bInput|BenchmarkTraceOverhead
+GATE_BENCH_MICRO ?= BenchmarkRenderWidget|BenchmarkRenderText|BenchmarkE2bRender|BenchmarkInputBatch|BenchmarkInputCoalesce|BenchmarkInputFlood|BenchmarkE2bInput|BenchmarkTraceOverhead|BenchmarkTimerWheel
 BENCHTIME_MICRO  ?= 10000x
 # ns/op headroom: generous because wall time shifts with hardware, still
 # far under the 2x-regression class the gate exists to catch. allocs/op is
@@ -100,14 +106,14 @@ bench:
 # bench-out runs exactly the gated benchmark set (macro pass + micro pass)
 # and prints raw results.
 bench-out:
-	@{ $(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem . && \
-	   $(GO) test -run NONE -bench '$(GATE_BENCH_MICRO)' -benchtime $(BENCHTIME_MICRO) -benchmem . ; }
+	@{ $(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem $(BENCH_PKGS) && \
+	   $(GO) test -run NONE -bench '$(GATE_BENCH_MICRO)' -benchtime $(BENCHTIME_MICRO) -benchmem $(BENCH_PKGS) ; }
 
 # bench-gate fails (exit 1) when the measured results regress beyond the
 # tolerances against BENCH_BASELINE.json.
 bench-gate:
-	@{ $(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem . && \
-	   $(GO) test -run NONE -bench '$(GATE_BENCH_MICRO)' -benchtime $(BENCHTIME_MICRO) -benchmem . ; } \
+	@{ $(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem $(BENCH_PKGS) && \
+	   $(GO) test -run NONE -bench '$(GATE_BENCH_MICRO)' -benchtime $(BENCHTIME_MICRO) -benchmem $(BENCH_PKGS) ; } \
 		| $(GO) run ./cmd/benchgate -tolerance $(NS_TOL) -extra-tolerance $(EXTRA_TOL)
 
 # bench-baseline regenerates BENCH_BASELINE.json from two local runs of
@@ -115,10 +121,10 @@ bench-gate:
 # benchmark, so the committed ceiling covers the machine's slow mode and
 # a lucky fast run cannot produce a baseline the next run flaps against.
 bench-baseline:
-	@{ $(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem . && \
-	   $(GO) test -run NONE -bench '$(GATE_BENCH_MICRO)' -benchtime $(BENCHTIME_MICRO) -benchmem . && \
-	   $(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem . && \
-	   $(GO) test -run NONE -bench '$(GATE_BENCH_MICRO)' -benchtime $(BENCHTIME_MICRO) -benchmem . ; } \
+	@{ $(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem $(BENCH_PKGS) && \
+	   $(GO) test -run NONE -bench '$(GATE_BENCH_MICRO)' -benchtime $(BENCHTIME_MICRO) -benchmem $(BENCH_PKGS) && \
+	   $(GO) test -run NONE -bench '$(GATE_BENCH)' -benchtime $(BENCHTIME) -benchmem $(BENCH_PKGS) && \
+	   $(GO) test -run NONE -bench '$(GATE_BENCH_MICRO)' -benchtime $(BENCHTIME_MICRO) -benchmem $(BENCH_PKGS) ; } \
 		| $(GO) run ./cmd/benchgate -update -note "make bench-baseline, benchtime $(BENCHTIME)/$(BENCHTIME_MICRO), worst of 2 runs"
 
 # profile captures CPU and allocation profiles of the render/encode hot

@@ -19,6 +19,15 @@
 //
 //	obslint [-doclint] [-mdlinks] [dir ...]    # defaults to the current tree
 //
+// The lint also guards the budgeted event runtime's core invariant: in the
+// session-path packages (internal/uniserver, internal/hub, internal/rfb,
+// internal/netsim) a naked `go` statement is an error — per-session
+// concurrency belongs on the sched runtime (pool turns and wheel timers),
+// where worker count is a process budget instead of scaling with sessions.
+// A deliberate spawn (e.g. the one-goroutine-per-connection legacy Serve
+// path) is annotated with a `goroutine-ok:` comment naming its reason, on
+// the go statement's line or the line above.
+//
 // Test files are exempt (they register throwaway names on private
 // registries); generated and vendored trees are skipped.
 package main
@@ -116,7 +125,8 @@ func lintTree(root string, bad *int) error {
 func lintFile(path string, pkgDocs map[string]bool) int {
 	fset := token.NewFileSet()
 	mode := parser.Mode(0)
-	if *docLint {
+	sessionPath := isSessionPath(path)
+	if *docLint || sessionPath {
 		mode = parser.ParseComments
 	}
 	f, err := parser.ParseFile(fset, path, nil, mode)
@@ -125,6 +135,9 @@ func lintFile(path string, pkgDocs map[string]bool) int {
 		return 1
 	}
 	bad := 0
+	if sessionPath {
+		bad += lintGoStmts(fset, f, path)
+	}
 	if *docLint {
 		dir := filepath.Dir(path)
 		if _, seen := pkgDocs[dir]; !seen {
@@ -197,6 +210,61 @@ func lintConstDocs(fset *token.FileSet, f *ast.File) int {
 			}
 		}
 	}
+	return bad
+}
+
+// sessionPathDirs are the packages living under the budgeted event
+// runtime's goroutine discipline: session work runs as pool turns and
+// wheel timers, never as per-session goroutines.
+var sessionPathDirs = []string{
+	"internal/uniserver", "internal/hub", "internal/rfb", "internal/netsim",
+}
+
+func isSessionPath(path string) bool {
+	dir := filepath.ToSlash(filepath.Dir(path))
+	for _, d := range sessionPathDirs {
+		if dir == d || strings.HasSuffix(dir, "/"+d) {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineOK marks a deliberate goroutine spawn in a session-path
+// package; the comment must name the reason.
+const goroutineOK = "goroutine-ok:"
+
+// lintGoStmts flags naked `go` statements in session-path packages. A
+// spawn annotated with a goroutine-ok: comment (same line or the line
+// above) passes; everything else is a budget leak — it scales goroutines
+// with sessions instead of riding the shared pool or wheel.
+func lintGoStmts(fset *token.FileSet, f *ast.File, path string) int {
+	allowed := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, goroutineOK) {
+				// The whole comment group vouches for the statement that
+				// follows it (and an inline marker for its own line).
+				allowed[fset.Position(c.Pos()).Line] = true
+				allowed[fset.Position(cg.End()).Line] = true
+			}
+		}
+	}
+	bad := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		line := fset.Position(gs.Pos()).Line
+		if allowed[line] || allowed[line-1] {
+			return true
+		}
+		fmt.Fprintf(os.Stderr, "%s: naked go statement in session-path package %s (run it as a pool turn or wheel timer, or annotate '// goroutine-ok: <reason>')\n",
+			fset.Position(gs.Pos()), filepath.Dir(path))
+		bad++
+		return true
+	})
 	return bad
 }
 

@@ -173,6 +173,7 @@ func run(cfg config) error {
 		// page: same sample lines, plus # TYPE headers and exemplars)
 		// for everything else.
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			mServerGoroutines.Set(int64(runtime.NumGoroutine()))
 			if strings.Contains(r.Header.Get("Accept"), "application/json") {
 				w.Header().Set("Content-Type", "application/json")
 				_ = metrics.Default().WriteJSON(w)
@@ -231,9 +232,17 @@ func run(cfg config) error {
 	}
 }
 
+// mServerGoroutines tracks the process goroutine count, sampled whenever
+// /metrics or /healthz renders. Under the budgeted event runtime it should
+// track the worker budget, not the session count — a divergence here is
+// the first sign of a leaked per-session goroutine.
+var mServerGoroutines = metrics.Default().Gauge("server_goroutines")
+
 // healthz summarizes liveness for probes: uptime, residency, connection
-// and session counts, detach-lot depth, and the build that is running.
+// and session counts, detach-lot depth, scheduler saturation (worker
+// budget, run-queue depth, goroutine count) and the build that is running.
 func healthz(h *hub.Hub, start time.Time) map[string]any {
+	mServerGoroutines.Set(int64(runtime.NumGoroutine()))
 	snap := metrics.Default().Snapshot()
 	out := map[string]any{
 		"status":         "ok",
@@ -243,6 +252,13 @@ func healthz(h *hub.Hub, start time.Time) map[string]any {
 		"sessions":       snap.Gauges["server_sessions"],
 		"parked":         snap.Gauges["session_parked"],
 		"queue_depth":    snap.Gauges["input_queue_depth"],
+		"goroutines":     snap.Gauges["server_goroutines"],
+		"sched": map[string]any{
+			"workers":      snap.Gauges["sched_workers"],
+			"run_queue":    snap.Gauges["sched_queue_depth"],
+			"turns":        snap.Counters["sched_turns_total"],
+			"wheel_timers": snap.Gauges["sched_wheel_timers"],
+		},
 		"go_version":     runtime.Version(),
 		"trace_sampling": trace.Sampling(),
 	}

@@ -1,0 +1,115 @@
+package uniint_test
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"uniint"
+	"uniint/internal/hub"
+	"uniint/internal/leakcheck"
+	"uniint/internal/metrics"
+	"uniint/internal/workload"
+)
+
+// TestHubThousandIdleEdgeSessions is the acceptance test for the budgeted
+// event runtime: one hub hosting 1000 idle edge sessions across 10 homes
+// on a 4-worker pool, with the process goroutine count independent of the
+// session count. Every session is attached through hub.AttachEdge over a
+// goroutine-free event pipe (workload.IdleFleet), so any per-session
+// goroutine anywhere in the stack fails the bounded assertion.
+func TestHubThousandIdleEdgeSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-session fleet")
+	}
+	leakcheck.Check(t, 0)
+	const homes, sessions, workers = 10, 1000, 4
+
+	pool := uniint.NewWorkerPool(workers)
+	defer pool.Close()
+	h, err := hub.New(hub.Options{
+		Factory: func(homeID string) (hub.Home, error) {
+			return uniint.NewSessionForHub(uniint.Options{
+				Width: 64, Height: 48, Name: homeID,
+				Pool: pool,
+			})
+		},
+		Pool:    pool,
+		Metrics: metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Build the households first: homes own legitimate goroutines
+	// (middleware delivery, appliance simulators), and those must not be
+	// charged to the per-session budget under test.
+	ids := make([]string, homes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("home-%03d", i)
+		if _, err := h.Admit(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := runtime.NumGoroutine()
+
+	i := 0
+	clients, err := workload.IdleFleet(sessions, func(conn net.Conn) error {
+		id := ids[i%homes]
+		i++
+		return h.AttachEdge(id, conn)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Homes(); got != homes {
+		t.Fatalf("Homes() = %d, want %d", got, homes)
+	}
+	if got := h.Connections(); got != int64(sessions) {
+		t.Fatalf("Conns() = %d, want %d", got, sessions)
+	}
+
+	// The claim under test: 1000 idle sessions add no goroutines beyond
+	// transient pool turns. The bound is a small constant over the
+	// pre-fleet baseline — nothing proportional to the session count.
+	leakcheck.Assert(t, base+8, "1k idle hub edge sessions")
+
+	// Disconnect the fleet; every unpin must land so hub accounting
+	// returns to zero and Close does not spin on phantom connections.
+	for _, c := range clients {
+		c.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for h.Connections() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Conns() = %d after fleet close", h.Connections())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestHubAttachEdgeUnknownFallbacks exercises the edge attach error paths:
+// a home type without edge support and a non-readiness connection.
+func TestHubAttachEdgeErrors(t *testing.T) {
+	h, err := hub.New(hub.Options{
+		Factory: func(string) (hub.Home, error) { return plainHome{}, nil },
+		Metrics: metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	a, b := net.Pipe()
+	defer a.Close()
+	if err := h.AttachEdge("x", b); err != hub.ErrNoEdge {
+		t.Fatalf("AttachEdge on non-edge home = %v, want ErrNoEdge", err)
+	}
+}
+
+type plainHome struct{}
+
+func (plainHome) HandleConn(conn net.Conn) error { conn.Close(); return nil }
+func (plainHome) Close()                         {}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"uniint/internal/havi"
+	"uniint/internal/sched"
 )
 
 // Appliance is one simulated device.
@@ -38,9 +39,9 @@ type Home struct {
 	appliances []Appliance
 	guids      map[Appliance]havi.GUID
 
-	tickMu sync.Mutex
-	stop   chan struct{}
-	done   chan struct{}
+	tickMu    sync.Mutex
+	tickRun   sync.Mutex // held across each wheel-fired advance; StopTicker's barrier
+	tickTimer *sched.Timer
 }
 
 // NewHome creates a household with a fresh middleware network.
@@ -109,39 +110,43 @@ func (h *Home) Advance(n int) {
 
 // StartTicker begins advancing the simulation in real time, once per
 // interval. Stop with StopTicker or Close.
+//
+// The tick is a periodic timer on the shared wheel rather than a dedicated
+// ticker goroutine: a process hosting 10k ticking homes (or one home with
+// 10k appliances) holds O(1) runtime timers and zero ticker goroutines.
 func (h *Home) StartTicker(interval time.Duration) {
 	h.tickMu.Lock()
 	defer h.tickMu.Unlock()
-	if h.stop != nil {
+	if h.tickTimer != nil {
 		return // already running
 	}
-	h.stop = make(chan struct{})
-	h.done = make(chan struct{})
-	go func(stop, done chan struct{}) {
-		defer close(done)
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-t.C:
-				h.Advance(1)
-			case <-stop:
-				return
-			}
-		}
-	}(h.stop, h.done)
+	h.tickRun.Lock() // tickTimer is read under tickRun by tickOnce
+	h.tickTimer = sched.Shared().Every(interval, h.tickOnce)
+	h.tickRun.Unlock()
 }
 
-// StopTicker halts the real-time simulation and waits for the goroutine.
+func (h *Home) tickOnce() {
+	h.tickRun.Lock()
+	// Re-check under tickRun: a fire dispatched just as StopTicker ran
+	// must not advance after StopTicker returned.
+	if h.tickTimer != nil {
+		h.Advance(1)
+	}
+	h.tickRun.Unlock()
+}
+
+// StopTicker halts the real-time simulation; an in-flight advance is
+// waited out, so no Tick runs after StopTicker returns.
 func (h *Home) StopTicker() {
 	h.tickMu.Lock()
 	defer h.tickMu.Unlock()
-	if h.stop == nil {
+	if h.tickTimer == nil {
 		return
 	}
-	close(h.stop)
-	<-h.done
-	h.stop, h.done = nil, nil
+	h.tickTimer.Stop()
+	h.tickRun.Lock() // barrier: wait out an advance already running
+	h.tickTimer = nil
+	h.tickRun.Unlock()
 }
 
 // Close stops the ticker and shuts the middleware down.

@@ -93,9 +93,10 @@ func ParseGoBench(r io.Reader) ([]Result, error) {
 				res.BytesPerOp = v
 			default:
 				// Custom b.ReportMetric units ("wirebytes/op", "px/op",
-				// "MB/s", …): keep the per-op ones — they are stable cost
-				// metrics; throughput units vary with the machine.
-				if strings.HasSuffix(unit, "/op") {
+				// "bytes/session", "MB/s", …): keep the per-op and
+				// per-session ones — they are stable cost metrics;
+				// throughput units vary with the machine.
+				if strings.HasSuffix(unit, "/op") || strings.HasSuffix(unit, "/session") {
 					if res.Extra == nil {
 						res.Extra = make(map[string]float64)
 					}

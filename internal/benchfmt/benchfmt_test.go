@@ -14,6 +14,7 @@ BenchmarkE2Encoding/raw/flat/full-8         	     100	   4236088 ns/op	   122880
 BenchmarkE2Encoding/rre/flat/full-8         	     100	     92162 ns/op	        12 bytes/update	       0 B/op	       0 allocs/op
 BenchmarkHubRoute/16-homes-8                	 1000000	        25.42 ns/op	       0 B/op	       0 allocs/op
 BenchmarkNoMem                              	     500	      1000 ns/op
+BenchmarkSessionFootprint-8                 	     100	  11333521 ns/op	    121000 bytes/session	         0 goroutines/session	31017737 B/op	   12843 allocs/op
 PASS
 ok  	uniint	12.3s
 `
@@ -23,8 +24,8 @@ func TestParseGoBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 4 {
-		t.Fatalf("parsed %d results, want 4: %+v", len(res), res)
+	if len(res) != 5 {
+		t.Fatalf("parsed %d results, want 5: %+v", len(res), res)
 	}
 	if res[0].Name != "BenchmarkE2Encoding/raw/flat/full" {
 		t.Errorf("cpu suffix not stripped: %q", res[0].Name)
@@ -40,6 +41,17 @@ func TestParseGoBench(t *testing.T) {
 	}
 	if res[3].AllocsPerOp != -1 || res[3].BytesPerOp != -1 {
 		t.Errorf("missing -benchmem columns should be -1: %+v", res[3])
+	}
+	// Per-session footprint metrics are gated extras, like per-op ones;
+	// non-/op, non-/session units (bytes/update above) stay ungated.
+	if res[4].Extra["bytes/session"] != 121000 || res[4].Extra["goroutines/session"] != 0 {
+		t.Errorf("per-session extras misparsed: %+v", res[4].Extra)
+	}
+	if _, ok := res[4].Extra["goroutines/session"]; !ok {
+		t.Errorf("zero-valued extra dropped: %+v", res[4].Extra)
+	}
+	if len(res[0].Extra) != 0 {
+		t.Errorf("bytes/update should not be captured as an extra: %+v", res[0].Extra)
 	}
 }
 

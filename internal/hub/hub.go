@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"uniint/internal/metrics"
+	"uniint/internal/sched"
 	"uniint/internal/trace"
 )
 
@@ -48,6 +49,17 @@ type Home interface {
 	// Close tears the home's stack down.
 	Close()
 }
+
+// EdgeHome is optionally implemented by homes that accept readiness-driven
+// edge connections (uniint.HubSession does): AttachEdge handshakes conn,
+// returns, and serves the session on the home's worker pool with no
+// dedicated goroutine, invoking onClose once after the session retires.
+type EdgeHome interface {
+	AttachEdge(conn net.Conn, onClose func()) error
+}
+
+// ErrNoEdge reports a home without the EdgeHome capability.
+var ErrNoEdge = errors.New("hub: home does not support edge attach")
 
 // SessionParker is optionally implemented by homes whose server parks
 // disconnected sessions (uniint.HubSession does). The hub consults it
@@ -82,6 +94,10 @@ type Options struct {
 	SweepInterval time.Duration
 	// Metrics receives the hub's instruments (default metrics.Default()).
 	Metrics *metrics.Registry
+	// Pool is the worker pool hosted homes should run their session turns
+	// on (exposed via Hub.Pool for the factory to plumb through). Nil: the
+	// hub creates one sized sched.DefaultWorkers and closes it on Close.
+	Pool *sched.Pool
 }
 
 // entry is one resident home.
@@ -138,8 +154,15 @@ type Hub struct {
 	closed   atomic.Bool
 	draining atomic.Bool
 
-	janitorStop chan struct{}
-	janitorDone chan struct{}
+	// The eviction janitor is a periodic timer on the shared wheel that
+	// kicks a pool task: N hubs (or thousands of idle homes) cost O(1)
+	// runtime timers and zero dedicated goroutines. The task state machine
+	// keeps sweeps from ever overlapping.
+	janitorTimer *sched.Timer
+	sweepTask    *sched.Task
+
+	pool    *sched.Pool
+	ownPool bool
 
 	// Pre-resolved instruments (hot path: no registry lookups).
 	mHomes        *metrics.Gauge
@@ -184,6 +207,11 @@ func New(opts Options) (*Hub, error) {
 		mParkSkips:    opts.Metrics.Counter("hub_evictions_skipped_parked_total"),
 		mRouteSeconds: opts.Metrics.Histogram("hub_route_seconds", metrics.LatencyBuckets()),
 	}
+	h.pool = opts.Pool
+	if h.pool == nil {
+		h.pool = sched.NewPool(0)
+		h.ownPool = true
+	}
 	if opts.IdleTimeout > 0 {
 		sweep := opts.SweepInterval
 		if sweep <= 0 {
@@ -192,12 +220,15 @@ func New(opts Options) (*Hub, error) {
 		if sweep < time.Second {
 			sweep = time.Second
 		}
-		h.janitorStop = make(chan struct{})
-		h.janitorDone = make(chan struct{})
-		go h.janitor(sweep)
+		h.sweepTask = h.pool.NewTask(h.sweep)
+		h.janitorTimer = sched.Shared().Every(sweep, h.sweepTask.Kick)
 	}
 	return h, nil
 }
+
+// Pool returns the worker pool hosted homes share for their session turns.
+// Factories plumb it into the home stacks they build.
+func (h *Hub) Pool() *sched.Pool { return h.pool }
 
 func nextPow2(n int) int {
 	p := 1
@@ -338,6 +369,59 @@ func (h *Hub) Route(id string, conn net.Conn) error {
 	return fmt.Errorf("%w: %s (admission/eviction livelock)", ErrUnknownHome, id)
 }
 
+// AttachEdge admits (if needed) the home for id and attaches one
+// readiness-driven connection to it, returning as soon as the handshake
+// completes — the session then lives on the home's worker pool with no
+// routing goroutine. The home entry stays pinned against eviction (the
+// same refs protocol Route uses) until the session retires, at which
+// point the home's completion callback unpins it.
+func (h *Hub) AttachEdge(id string, conn net.Conn) error {
+	start := time.Now()
+	for attempt := 0; attempt < 4; attempt++ {
+		if _, err := h.Admit(id); err != nil {
+			conn.Close()
+			return err
+		}
+		e := h.lookup(id)
+		if e == nil { // evicted between Admit and lookup; re-admit
+			continue
+		}
+		e.refs.Add(1)
+		h.conns.Add(1)
+		if e.evicted.Load() || h.closed.Load() {
+			h.conns.Add(-1)
+			e.refs.Add(-1)
+			if h.closed.Load() {
+				conn.Close()
+				return ErrClosed
+			}
+			continue
+		}
+		eh, ok := e.home.(EdgeHome)
+		if !ok {
+			h.conns.Add(-1)
+			e.refs.Add(-1)
+			conn.Close()
+			return ErrNoEdge
+		}
+		h.mConns.Inc()
+		h.mRouteSeconds.ObserveDuration(time.Since(start))
+		unpin := func() {
+			e.refs.Add(-1)
+			e.touch()
+			h.mConns.Dec()
+			h.conns.Add(-1)
+		}
+		if err := eh.AttachEdge(conn, unpin); err != nil {
+			unpin() // the home closed conn; the session never started
+			return err
+		}
+		return nil
+	}
+	conn.Close()
+	return fmt.Errorf("%w: %s (admission/eviction livelock)", ErrUnknownHome, id)
+}
+
 // PreambleTimeout bounds how long ServeConn waits for the routing
 // preamble, so a silent client cannot park a routing goroutine forever.
 const PreambleTimeout = 10 * time.Second
@@ -396,6 +480,8 @@ func (h *Hub) Serve(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
+		// goroutine-ok: Serve is the blocking-transport accept loop; routed
+		// conns are served by HandleConn, which blocks for the conn's life.
 		go func() { _ = h.ServeConn(conn) }()
 	}
 }
@@ -444,22 +530,8 @@ func (h *Hub) Evict(id string) bool {
 	return true
 }
 
-// janitor periodically evicts idle homes.
-func (h *Hub) janitor(period time.Duration) {
-	defer close(h.janitorDone)
-	t := time.NewTicker(period)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			h.sweep()
-		case <-h.janitorStop:
-			return
-		}
-	}
-}
-
 // sweep evicts every home idle beyond IdleTimeout with no connections.
+// It runs as a pool turn, kicked by the janitor's wheel timer.
 func (h *Hub) sweep() {
 	cutoff := time.Now().Add(-h.opts.IdleTimeout).UnixNano()
 	for i := range h.shards {
@@ -513,9 +585,9 @@ func (h *Hub) Close() {
 	if h.closed.Swap(true) {
 		return
 	}
-	if h.janitorStop != nil {
-		close(h.janitorStop)
-		<-h.janitorDone
+	if h.janitorTimer != nil {
+		h.janitorTimer.Stop()
+		h.sweepTask.Stop()
 	}
 	for i := range h.shards {
 		sh := &h.shards[i]
@@ -539,5 +611,8 @@ func (h *Hub) Close() {
 	// disconnects their sessions, so HandleConn calls return promptly).
 	for h.conns.Load() > 0 {
 		time.Sleep(time.Millisecond)
+	}
+	if h.ownPool {
+		h.pool.Close()
 	}
 }

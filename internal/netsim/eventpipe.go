@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// EventPipe creates an in-process duplex connection for readiness-driven
+// ("edge") servers: instead of a goroutine parked in a blocking Read, the
+// consumer registers an OnReadable callback and drains buffered bytes with
+// non-blocking ReadAvailable calls — the transport shape the budgeted
+// event runtime's zero-goroutine-per-session path needs.
+//
+// Writes never block (each direction buffers without bound), so a
+// fully scripted peer can pipeline its whole conversation — e.g. the
+// client half of a handshake — before the other side ever reads.
+// Blocking Read also works (net.Conn compliance), which is how the
+// server-side handshake runs on the attaching goroutine.
+func EventPipe() (*EventConn, *EventConn) {
+	a := &EventConn{}
+	b := &EventConn{}
+	a.cond = sync.NewCond(&a.mu)
+	b.cond = sync.NewCond(&b.mu)
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// EventConn is one end of an EventPipe. The inbound buffer (bytes the
+// peer wrote) lives on the receiving end; Write touches only the peer's
+// state, so each direction is independent.
+type EventConn struct {
+	peer *EventConn
+
+	mu       sync.Mutex
+	cond     *sync.Cond // blocking Read waits here
+	buf      []byte     // inbound bytes; consumed from start
+	start    int
+	closed   bool   // no more inbound bytes will arrive (EOF after drain)
+	readable func() // readiness callback; invoked outside mu
+}
+
+// Write appends p to the peer's inbound buffer and fires its readiness
+// callback. It never blocks; after either end closes it fails with
+// io.ErrClosedPipe.
+func (c *EventConn) Write(p []byte) (int, error) {
+	q := c.peer
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	q.buf = append(q.buf, p...)
+	cb := q.readable
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+	return len(p), nil
+}
+
+// Read blocks until inbound bytes are available (or the pipe closes),
+// then copies as many as fit. Used by handshakes running on the attaching
+// goroutine; steady-state edge consumers use ReadAvailable instead.
+func (c *EventConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	for c.start >= len(c.buf) && !c.closed {
+		c.cond.Wait()
+	}
+	n, err := c.consumeLocked(p)
+	c.mu.Unlock()
+	return n, err
+}
+
+// ReadAvailable copies buffered inbound bytes into p without blocking.
+// It returns (0, nil) when the buffer is empty and the pipe is open —
+// the "drained, wait for the next readiness callback" signal — and
+// (0, io.EOF) once the pipe is closed and drained.
+func (c *EventConn) ReadAvailable(p []byte) (int, error) {
+	c.mu.Lock()
+	n, err := c.consumeLocked(p)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *EventConn) consumeLocked(p []byte) (int, error) {
+	if c.start >= len(c.buf) {
+		if c.closed {
+			return 0, io.EOF
+		}
+		return 0, nil
+	}
+	n := copy(p, c.buf[c.start:])
+	c.start += n
+	if c.start == len(c.buf) {
+		c.buf = c.buf[:0]
+		c.start = 0
+	}
+	return n, nil
+}
+
+// OnReadable installs the readiness callback, replacing any previous one.
+// It fires after every Write that lands inbound bytes and once at close;
+// if bytes are already buffered (or the pipe already closed) it fires
+// immediately, so no arrival is lost to registration order. The callback
+// runs on the writer's goroutine and must not block (a run-queue kick is
+// the intended body).
+func (c *EventConn) OnReadable(fn func()) {
+	c.mu.Lock()
+	c.readable = fn
+	pending := c.start < len(c.buf) || c.closed
+	c.mu.Unlock()
+	if pending && fn != nil {
+		fn()
+	}
+}
+
+// Close shuts both directions down, like net.Pipe: each end's readers
+// drain what is buffered and then see io.EOF, writers fail immediately,
+// and both readiness callbacks fire so event-driven consumers observe
+// the close without polling.
+func (c *EventConn) Close() error {
+	c.closeInbound()
+	c.peer.closeInbound()
+	return nil
+}
+
+func (c *EventConn) closeInbound() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	cb := c.readable
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+// Buffered returns the number of inbound bytes waiting to be read.
+func (c *EventConn) Buffered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf) - c.start
+}
+
+type eventAddr struct{}
+
+func (eventAddr) Network() string { return "eventpipe" }
+func (eventAddr) String() string  { return "eventpipe" }
+
+// LocalAddr implements net.Conn.
+func (c *EventConn) LocalAddr() net.Addr { return eventAddr{} }
+
+// RemoteAddr implements net.Conn.
+func (c *EventConn) RemoteAddr() net.Addr { return eventAddr{} }
+
+// SetDeadline implements net.Conn as a no-op: edge servers bound their
+// handshakes with wheel timers that close the conn, not read deadlines.
+func (c *EventConn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn as a no-op.
+func (c *EventConn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (c *EventConn) SetWriteDeadline(time.Time) error { return nil }

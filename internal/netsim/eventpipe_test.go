@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEventPipeWriteRead(t *testing.T) {
+	a, b := EventPipe()
+	defer a.Close()
+	if _, err := a.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := b.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("Read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestEventPipeReadAvailableNonBlocking(t *testing.T) {
+	a, b := EventPipe()
+	buf := make([]byte, 16)
+	// Empty and open: (0, nil), no block.
+	if n, err := b.ReadAvailable(buf); n != 0 || err != nil {
+		t.Fatalf("empty ReadAvailable = %d, %v", n, err)
+	}
+	a.Write([]byte("xy"))
+	if n, err := b.ReadAvailable(buf); n != 2 || err != nil {
+		t.Fatalf("ReadAvailable = %d, %v", n, err)
+	}
+	// Closed and drained: io.EOF.
+	a.Write([]byte("z"))
+	a.Close()
+	if n, _ := b.ReadAvailable(buf); n != 1 || buf[0] != 'z' {
+		t.Fatal("buffered byte lost at close")
+	}
+	if _, err := b.ReadAvailable(buf); err != io.EOF {
+		t.Fatalf("after close: err = %v, want io.EOF", err)
+	}
+}
+
+func TestEventPipeOnReadable(t *testing.T) {
+	a, b := EventPipe()
+	defer a.Close()
+	var fires atomic.Int64
+	b.OnReadable(func() { fires.Add(1) })
+	if fires.Load() != 0 {
+		t.Fatal("fired with nothing buffered")
+	}
+	a.Write([]byte("x"))
+	if fires.Load() != 1 {
+		t.Fatalf("fires after write = %d", fires.Load())
+	}
+	// Registration with bytes already pending fires immediately.
+	var late atomic.Int64
+	b.OnReadable(func() { late.Add(1) })
+	if late.Load() != 1 {
+		t.Fatal("late registration did not fire for pending bytes")
+	}
+}
+
+func TestEventPipeCloseFiresReadableAndWakesRead(t *testing.T) {
+	a, b := EventPipe()
+	var fires atomic.Int64
+	b.OnReadable(func() { fires.Add(1) })
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 4))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("blocked Read woke with %v, want io.EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Read not woken by close")
+	}
+	if fires.Load() == 0 {
+		t.Fatal("close did not fire readable callback")
+	}
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}

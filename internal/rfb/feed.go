@@ -1,0 +1,216 @@
+package rfb
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"uniint/internal/gfx"
+)
+
+// Edge connections: the readiness-driven alternative to Serve. A blocking
+// read loop pins one goroutine (and its stack) per session for life; an
+// edge connection instead has bytes pushed into Feed whenever its
+// transport signals readability, so an idle session costs no goroutine
+// and no pinned read buffer — the connection-side half of the budgeted
+// event runtime.
+
+// edgeReaderPool holds the small buffered readers edge handshakes borrow.
+// The reader is returned as soon as the handshake completes (its buffered
+// remainder moves into the connection's feed buffer), so an edge session
+// pins no read buffer afterwards — unlike Serve connections, whose 32 KB
+// reader lives as long as they do.
+var edgeReaderPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 4<<10) },
+}
+
+// NewEdgeServerConn performs the server handshake for a readiness-driven
+// connection. It blocks on the handshake reads (brief when the client
+// pipelined its half — see ClientHello) but, unlike NewServerConnToken,
+// the returned connection holds no reader: client messages arrive through
+// Feed, pushed by whoever owns the transport's readiness callback. Bytes
+// the client pipelined past the handshake are retained and parsed by the
+// first Feed call.
+func NewEdgeServerConn(conn net.Conn, width, height int, name string, ex TokenExchange) (*ServerConn, error) {
+	s := &ServerConn{
+		conn:   conn,
+		pf:     gfx.PF32(),
+		width:  width,
+		height: height,
+		name:   name,
+	}
+	br := edgeReaderPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	s.br = br
+	err := s.handshake(ex)
+	if err == nil {
+		if n := br.Buffered(); n > 0 {
+			// The client pipelined protocol messages behind its handshake;
+			// move them into the feed buffer so no byte is stranded in the
+			// reader being returned to the pool.
+			peek, _ := br.Peek(n)
+			s.feed = append(s.feed, peek...)
+		}
+	}
+	s.br = nil
+	br.Reset(nil)
+	edgeReaderPool.Put(br)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Feed parses the client messages in data — prepended with any partial
+// message retained from earlier feeds — and dispatches each complete one
+// to h, exactly as Serve would. A trailing partial message is retained
+// for the next call. Feed is not safe for concurrent use with itself or
+// Serve; edge sessions call it from their (at-most-once-queued) read turn.
+// A non-nil error means the stream is unrecoverable and the connection
+// should be torn down.
+func (s *ServerConn) Feed(data []byte, h ServerHandler) error {
+	buf := data
+	if len(s.feed) > 0 {
+		s.feed = append(s.feed, data...)
+		buf = s.feed
+	}
+	off := 0
+	for off < len(buf) {
+		n, err := s.parseClientMessage(buf[off:], h)
+		if err != nil {
+			s.feed = s.feed[:0]
+			return err
+		}
+		if n == 0 {
+			break // incomplete message: wait for more bytes
+		}
+		off += n
+	}
+	rest := buf[off:]
+	if len(s.feed) > 0 {
+		s.feed = s.feed[:copy(s.feed, rest)]
+	} else if len(rest) > 0 {
+		s.feed = append(s.feed, rest...)
+	}
+	return nil
+}
+
+// parseClientMessage parses one client message from the front of b,
+// returning the bytes consumed (0: b holds only a partial message). The
+// wire layouts and handler dispatches mirror Serve's switch exactly.
+func (s *ServerConn) parseClientMessage(b []byte, h ServerHandler) (int, error) {
+	switch b[0] {
+	case msgSetPixelFormat: // type + 3 padding + 16 pixel format
+		if len(b) < 20 {
+			return 0, nil
+		}
+		pf := pixelFormatFrom(b[4:20])
+		if !pf.Valid() {
+			return 0, fmt.Errorf("rfb: client sent invalid pixel format: %w", ErrBadMessage)
+		}
+		s.bytesReceived.Add(20)
+		s.smu.Lock()
+		s.pf = pf
+		s.pfGen++
+		s.smu.Unlock()
+		return 20, nil
+
+	case msgSetEncodings: // type + padding + u16 count + count*u32
+		if len(b) < 4 {
+			return 0, nil
+		}
+		n := int(be.Uint16(b[2:]))
+		total := 4 + 4*n
+		if len(b) < total {
+			return 0, nil
+		}
+		encs := make([]int32, n)
+		for i := range encs {
+			encs[i] = int32(be.Uint32(b[4+4*i:]))
+		}
+		s.bytesReceived.Add(int64(total))
+		s.smu.Lock()
+		s.encodings = encs
+		s.encMask = encodingMask(encs)
+		s.smu.Unlock()
+		return total, nil
+
+	case msgFramebufferRequest: // type + incremental + 4×u16 geometry
+		if len(b) < 10 {
+			return 0, nil
+		}
+		s.bytesReceived.Add(10)
+		h.UpdateRequest(UpdateRequest{
+			Incremental: b[1] != 0,
+			Region: gfx.R(
+				int(be.Uint16(b[2:])), int(be.Uint16(b[4:])),
+				int(be.Uint16(b[6:])), int(be.Uint16(b[8:])),
+			),
+		})
+		return 10, nil
+
+	case msgKeyEvent: // type + down + 2 padding + u32 keysym
+		if len(b) < 8 {
+			return 0, nil
+		}
+		s.bytesReceived.Add(8)
+		h.KeyEvent(KeyEvent{Down: b[1] != 0, Key: be.Uint32(b[4:])})
+		return 8, nil
+
+	case msgPointerEvent: // type + button mask + 2×u16 position
+		if len(b) < 6 {
+			return 0, nil
+		}
+		s.bytesReceived.Add(6)
+		h.PointerEvent(PointerEvent{Buttons: b[1], X: be.Uint16(b[2:]), Y: be.Uint16(b[4:])})
+		return 6, nil
+
+	case msgTraceContext: // type + u64 trace id + u64 client send time
+		if len(b) < 17 {
+			return 0, nil
+		}
+		s.bytesReceived.Add(17)
+		s.traceID = be.Uint64(b[1:])
+		s.traceAt = int64(be.Uint64(b[9:]))
+		return 17, nil
+
+	case msgClientCutText: // type + 3 padding + u32 length + text
+		if len(b) < 8 {
+			return 0, nil
+		}
+		n := be.Uint32(b[4:])
+		if n > 1<<20 {
+			return 0, fmt.Errorf("rfb: cut text of %d bytes: %w", n, ErrBadMessage)
+		}
+		total := 8 + int(n)
+		if len(b) < total {
+			return 0, nil
+		}
+		s.bytesReceived.Add(int64(total))
+		h.CutText(string(b[8:total]))
+		return total, nil
+
+	default:
+		return 0, fmt.Errorf("rfb: unknown client message %d: %w", b[0], ErrBadMessage)
+	}
+}
+
+// ClientHello returns the client's entire half of the handshake as one
+// pipelined byte string: protocol version, ClientInit (shared) and the
+// resume-token extension (empty token: fresh session). The server's
+// handshake reads never block once these bytes are buffered, which is
+// what lets an edge client complete a handshake with no goroutine of its
+// own — write the hello, attach the other end, read ServerInit at leisure.
+func ClientHello(token string) []byte {
+	if len(token) > MaxTokenLen {
+		token = token[:MaxTokenLen]
+	}
+	b := make([]byte, 0, len(ProtocolVersion)+2+len(token))
+	b = append(b, ProtocolVersion...)
+	b = append(b, 1) // ClientInit: shared
+	b = append(b, uint8(len(token)))
+	b = append(b, token...)
+	return b
+}

@@ -49,9 +49,8 @@ type ServerConn struct {
 	// array passed through io.Reader escapes to the heap per call, which
 	// on the input hot path would mean allocations on every event.
 
-	wmu sync.Mutex // serializes writes and guards bw and cw
-	bw  *bufio.Writer
-	cw  countWriter // reusable byte-counting shim over bw
+	wmu sync.Mutex  // serializes writes and guards cw
+	cw  countWriter // reusable byte-counting shim over the wire buffer
 
 	smu       sync.Mutex // guards negotiated state
 	pf        gfx.PixelFormat
@@ -73,6 +72,11 @@ type ServerConn struct {
 	// handler via TakeTraceContext.
 	traceID uint64
 	traceAt int64
+
+	// feed retains a partial client message between Feed calls (edge
+	// connections only; read-turn-serialized like rs). Empty in steady
+	// state — it grows only while a message straddles a readiness window.
+	feed []byte
 }
 
 // NewServerConn performs the server side of the handshake over conn and
@@ -91,7 +95,6 @@ func NewServerConnToken(conn net.Conn, width, height int, name string, ex TokenE
 	s := &ServerConn{
 		conn:   conn,
 		br:     bufio.NewReaderSize(conn, 32<<10),
-		bw:     bufio.NewWriterSize(conn, 64<<10),
 		pf:     gfx.PF32(),
 		width:  width,
 		height: height,
@@ -104,12 +107,47 @@ func NewServerConnToken(conn net.Conn, width, height int, name string, ex TokenE
 	return s, nil
 }
 
+// wireBufSize is the write-side buffer: large enough that a typical
+// FramebufferUpdate flushes in one transport write.
+const wireBufSize = 64 << 10
+
+// wireBufPool holds the write-side buffers. A connection checks one out
+// per write operation (under wmu) instead of pinning one for its lifetime,
+// so buffered write memory scales with concurrent sends — O(active
+// writers) — rather than with connections: the dominant per-idle-session
+// cost at fleet scale.
+var wireBufPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, wireBufSize) },
+}
+
+// getWire checks a write buffer out of the pool, aimed at w.
+func getWire(w io.Writer) *bufio.Writer {
+	bw := wireBufPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return bw
+}
+
+// putWire returns a write buffer, dropping any unflushed bytes (a failed
+// send leaves some; the connection is dead at that point) and its sticky
+// error along with the transport reference.
+func putWire(bw *bufio.Writer) {
+	bw.Reset(io.Discard)
+	wireBufPool.Put(bw)
+}
+
 func (s *ServerConn) handshake(ex TokenExchange) error {
+	bw := getWire(s.conn)
+	err := s.handshakeWire(bw, ex)
+	putWire(bw)
+	return err
+}
+
+func (s *ServerConn) handshakeWire(bw *bufio.Writer, ex TokenExchange) error {
 	// Version exchange.
-	if err := writeAll(s.bw, []byte(ProtocolVersion)); err != nil {
+	if err := writeAll(bw, []byte(ProtocolVersion)); err != nil {
 		return fmt.Errorf("send version: %w", err)
 	}
-	if err := s.bw.Flush(); err != nil {
+	if err := bw.Flush(); err != nil {
 		return err
 	}
 	ver := make([]byte, len(ProtocolVersion))
@@ -120,10 +158,10 @@ func (s *ServerConn) handshake(ex TokenExchange) error {
 		return ErrBadVersion
 	}
 	// Security: none.
-	if err := writeU32(s.bw, secNone); err != nil {
+	if err := writeU32(bw, secNone); err != nil {
 		return err
 	}
-	if err := s.bw.Flush(); err != nil {
+	if err := bw.Flush(); err != nil {
 		return err
 	}
 	// ClientInit (shared flag, ignored) plus the resume-token extension:
@@ -151,19 +189,19 @@ func (s *ServerConn) handshake(ex TokenExchange) error {
 		}
 	}
 	// ServerInit.
-	if err := writeU16(s.bw, uint16(s.width)); err != nil {
+	if err := writeU16(bw, uint16(s.width)); err != nil {
 		return err
 	}
-	if err := writeU16(s.bw, uint16(s.height)); err != nil {
+	if err := writeU16(bw, uint16(s.height)); err != nil {
 		return err
 	}
-	if err := writePixelFormat(s.bw, s.pf); err != nil {
+	if err := writePixelFormat(bw, s.pf); err != nil {
 		return err
 	}
-	if err := writeU32(s.bw, uint32(len(s.name))); err != nil {
+	if err := writeU32(bw, uint32(len(s.name))); err != nil {
 		return err
 	}
-	if err := writeAll(s.bw, []byte(s.name)); err != nil {
+	if err := writeAll(bw, []byte(s.name)); err != nil {
 		return err
 	}
 	// ServerInit resume extension: the resumed verdict plus the issued
@@ -172,16 +210,16 @@ func (s *ServerConn) handshake(ex TokenExchange) error {
 	if s.resumed {
 		resumed = 1
 	}
-	if err := writeU8(s.bw, resumed); err != nil {
+	if err := writeU8(bw, resumed); err != nil {
 		return err
 	}
-	if err := writeU8(s.bw, uint8(len(s.token))); err != nil {
+	if err := writeU8(bw, uint8(len(s.token))); err != nil {
 		return err
 	}
-	if err := writeAll(s.bw, []byte(s.token)); err != nil {
+	if err := writeAll(bw, []byte(s.token)); err != nil {
 		return err
 	}
-	return s.bw.Flush()
+	return bw.Flush()
 }
 
 // TakeTraceContext returns and clears the trace context attached to the
@@ -534,9 +572,16 @@ func (s *ServerConn) SendPrepared(prep *PreparedUpdate) error {
 		return nil
 	}
 	s.wmu.Lock()
-	defer s.wmu.Unlock()
+	bw := getWire(s.conn)
+	err := s.sendPreparedWire(bw, prep)
+	putWire(bw)
+	s.wmu.Unlock()
+	return err
+}
+
+func (s *ServerConn) sendPreparedWire(bw *bufio.Writer, prep *PreparedUpdate) error {
 	cw := &s.cw
-	cw.w, cw.n = s.bw, 0
+	cw.w, cw.n = bw, 0
 	if err := writeU8(cw, msgFramebufferUpdate); err != nil {
 		return err
 	}
@@ -562,7 +607,7 @@ func (s *ServerConn) SendPrepared(prep *PreparedUpdate) error {
 			return err
 		}
 	}
-	if err := s.bw.Flush(); err != nil {
+	if err := bw.Flush(); err != nil {
 		return err
 	}
 	s.bytesSent.Add(cw.n)
@@ -576,53 +621,73 @@ func (s *ServerConn) SendPrepared(prep *PreparedUpdate) error {
 func (s *ServerConn) SendEmptyUpdate() error {
 	_, gen := s.pixelFormatGen()
 	s.wmu.Lock()
-	defer s.wmu.Unlock()
-	if err := writeU8(s.bw, msgFramebufferUpdate); err != nil {
+	bw := getWire(s.conn)
+	err := sendEmptyWire(bw, gen)
+	putWire(bw)
+	if err == nil {
+		s.bytesSent.Add(4)
+		s.updatesSent.Add(1)
+	}
+	s.wmu.Unlock()
+	return err
+}
+
+func sendEmptyWire(bw *bufio.Writer, gen uint8) error {
+	if err := writeU8(bw, msgFramebufferUpdate); err != nil {
 		return err
 	}
-	if err := writeU8(s.bw, gen); err != nil {
+	if err := writeU8(bw, gen); err != nil {
 		return err
 	}
-	if err := writeU16(s.bw, 0); err != nil {
+	if err := writeU16(bw, 0); err != nil {
 		return err
 	}
-	if err := s.bw.Flush(); err != nil {
-		return err
-	}
-	s.bytesSent.Add(4)
-	s.updatesSent.Add(1)
-	return nil
+	return bw.Flush()
 }
 
 // Bell rings the client's bell (used by appliances to signal attention).
 func (s *ServerConn) Bell() error {
 	s.wmu.Lock()
-	defer s.wmu.Unlock()
-	if err := writeU8(s.bw, msgBell); err != nil {
-		return err
+	bw := getWire(s.conn)
+	err := writeU8(bw, msgBell)
+	if err == nil {
+		err = bw.Flush()
 	}
-	s.bytesSent.Add(1)
-	return s.bw.Flush()
+	putWire(bw)
+	if err == nil {
+		s.bytesSent.Add(1)
+	}
+	s.wmu.Unlock()
+	return err
 }
 
 // SendCutText ships server-side clipboard text to the client.
 func (s *ServerConn) SendCutText(text string) error {
 	s.wmu.Lock()
-	defer s.wmu.Unlock()
-	if err := writeU8(s.bw, msgServerCutText); err != nil {
+	bw := getWire(s.conn)
+	err := sendCutTextWire(bw, text)
+	putWire(bw)
+	if err == nil {
+		s.bytesSent.Add(int64(8 + len(text)))
+	}
+	s.wmu.Unlock()
+	return err
+}
+
+func sendCutTextWire(bw *bufio.Writer, text string) error {
+	if err := writeU8(bw, msgServerCutText); err != nil {
 		return err
 	}
-	if err := writeAll(s.bw, []byte{0, 0, 0}); err != nil {
+	if err := writeAll(bw, []byte{0, 0, 0}); err != nil {
 		return err
 	}
-	if err := writeU32(s.bw, uint32(len(text))); err != nil {
+	if err := writeU32(bw, uint32(len(text))); err != nil {
 		return err
 	}
-	if err := writeAll(s.bw, []byte(text)); err != nil {
+	if err := writeAll(bw, []byte(text)); err != nil {
 		return err
 	}
-	s.bytesSent.Add(int64(8 + len(text)))
-	return s.bw.Flush()
+	return bw.Flush()
 }
 
 // countWriter counts bytes flowing through it.

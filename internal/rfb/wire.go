@@ -227,7 +227,12 @@ func readPixelFormat(r io.Reader) (gfx.PixelFormat, error) {
 	if _, err := io.ReadFull(r, b); err != nil {
 		return gfx.PixelFormat{}, err
 	}
-	pf := gfx.PixelFormat{
+	return pixelFormatFrom(b), nil
+}
+
+// pixelFormatFrom decodes the 16-byte wire pixel format from b.
+func pixelFormatFrom(b []byte) gfx.PixelFormat {
+	return gfx.PixelFormat{
 		BitsPerPixel: b[0],
 		Depth:        b[1],
 		BigEndian:    b[2] != 0,
@@ -239,7 +244,6 @@ func readPixelFormat(r io.Reader) (gfx.PixelFormat, error) {
 		GreenShift:   b[11],
 		BlueShift:    b[12],
 	}
-	return pf, nil
 }
 
 // putPixel serializes one pixel in pf into b, returning the byte count.

@@ -1,0 +1,405 @@
+package sched
+
+import (
+	"sync"
+	"time"
+
+	"uniint/internal/metrics"
+)
+
+// Wheel instruments: armed timers (gauge) and fired callbacks (counter).
+var (
+	mWheelTimers = metrics.Default().Gauge("sched_wheel_timers")
+	mWheelFires  = metrics.Default().Counter("sched_wheel_fires_total")
+)
+
+// Wheel geometry: wheelLevels levels of wheelSlots slots each. Level 0
+// spans tick × wheelSlots; each higher level spans wheelSlots times the
+// level below. With the 1ms default tick the wheel covers ~4.6 hours —
+// far past any timeout in the system (park TTLs, idle eviction, appliance
+// ticks, handshake bounds).
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64
+	wheelLevels = 4
+	wheelMask   = wheelSlots - 1
+)
+
+// DefaultTick is the wheel granularity used by NewWheel(0) and the shared
+// process wheel. Timers never fire early; they fire at most one tick (plus
+// scheduling latency) late.
+const DefaultTick = time.Millisecond
+
+// Wheel is a hierarchical timer wheel: every armed timer in the process
+// costs O(1) memory and the whole wheel is driven by a single goroutine
+// holding ONE runtime timer, however many timers are armed. The driver
+// starts when the first timer arms and exits when the last one fires or
+// stops, so an idle wheel holds no goroutine at all.
+//
+// Callbacks run on the driver goroutine and must not block for long — a
+// slow callback delays every other timer on the wheel. Heavy periodic work
+// should kick a Pool task instead of running inline.
+type Wheel struct {
+	mu      sync.Mutex
+	tick    time.Duration
+	epoch   time.Time
+	cur     int64 // ticks fully processed since epoch
+	slots   [wheelLevels][wheelSlots]*Timer
+	pending int
+	running bool          // driver goroutine live
+	rearm   chan struct{} // cap 1: wake the driver to recompute its sleep
+
+	// fired recycles the due-timer collection batch across driver wakeups.
+	fired []*Timer
+}
+
+// NewWheel creates a wheel with the given granularity (0 selects
+// DefaultTick). The driver goroutine starts lazily on first arm.
+func NewWheel(tick time.Duration) *Wheel {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	return &Wheel{tick: tick, epoch: time.Now(), rearm: make(chan struct{}, 1)}
+}
+
+var (
+	sharedOnce  sync.Once
+	sharedWheel *Wheel
+)
+
+// Shared returns the process-wide wheel. Everything periodic in the
+// process — detach-lot sweeps, hub idle eviction, appliance simulation
+// ticks, handshake timeouts — shares it, so the whole process holds O(1)
+// runtime timers no matter how many homes, sessions and appliances it
+// hosts. Because the driver exits when the wheel empties, using the shared
+// wheel never leaks a goroutine past the last armed timer.
+func Shared() *Wheel {
+	sharedOnce.Do(func() { sharedWheel = NewWheel(0) })
+	return sharedWheel
+}
+
+// Timer is one armed callback on a Wheel. Stop and Reset are safe from any
+// goroutine, including the callback itself.
+type Timer struct {
+	w       *Wheel
+	fn      func()
+	when    int64 // absolute due tick
+	period  int64 // ticks between fires; 0 for one-shot
+	gen     uint64
+	fireGen uint64 // gen snapshot at fire collection; mismatch suppresses fn
+	linked  bool
+	next    *Timer
+	prev    *Timer
+	level   int
+	slot    int
+}
+
+// Pending returns the number of armed timers (tests and health surfaces).
+func (w *Wheel) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pending
+}
+
+// AfterFunc arms fn to run once after d. The returned timer can be
+// stopped or reset like time.AfterFunc's.
+func (w *Wheel) AfterFunc(d time.Duration, fn func()) *Timer {
+	t := &Timer{w: w, fn: fn}
+	w.mu.Lock()
+	w.armLocked(t, d)
+	w.mu.Unlock()
+	w.kickDriver()
+	return t
+}
+
+// Every arms fn to run every d until the timer is stopped. The first fire
+// is one period out. Fires never overlap (the driver is one goroutine);
+// a fire that outruns the period delays subsequent fires rather than
+// stacking them.
+func (w *Wheel) Every(d time.Duration, fn func()) *Timer {
+	t := &Timer{w: w, fn: fn}
+	w.mu.Lock()
+	t.period = w.ticksFor(d)
+	w.armLocked(t, d)
+	w.mu.Unlock()
+	w.kickDriver()
+	return t
+}
+
+// Stop disarms the timer and reports whether it was armed. A fire that was
+// collected but has not started running is suppressed; one whose callback
+// already started is past stopping (like time.Timer.Stop, Stop does not
+// wait for the callback).
+func (t *Timer) Stop() bool {
+	w := t.w
+	w.mu.Lock()
+	t.gen++ // invalidates an in-flight fire collection
+	t.period = 0
+	was := t.linked
+	if t.linked {
+		w.unlinkLocked(t)
+		w.pending--
+		mWheelTimers.Dec()
+	}
+	emptied := w.pending == 0 && w.running
+	w.mu.Unlock()
+	if emptied {
+		// Wake the driver so it notices the empty wheel and exits now,
+		// instead of sleeping out the stopped timer's deadline — a wheel
+		// with nothing armed should hold no goroutine promptly.
+		select {
+		case w.rearm <- struct{}{}:
+		default:
+		}
+	}
+	return was
+}
+
+// Reset re-arms the timer for d from now, whether or not it was still
+// armed, preserving its periodic interval if it had one.
+func (t *Timer) Reset(d time.Duration) {
+	w := t.w
+	w.mu.Lock()
+	t.gen++
+	if t.linked {
+		w.unlinkLocked(t)
+		w.pending--
+		mWheelTimers.Dec()
+	}
+	w.armLocked(t, d)
+	w.mu.Unlock()
+	w.kickDriver()
+}
+
+// ticksFor converts a duration to a tick count, rounding up and clamping
+// to at least one tick so a timer never fires early or immediately-in-past.
+func (w *Wheel) ticksFor(d time.Duration) int64 {
+	if d <= 0 {
+		return 1
+	}
+	n := (int64(d) + int64(w.tick) - 1) / int64(w.tick)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// nowTick returns the tick index the wall clock has reached.
+func (w *Wheel) nowTick() int64 { return int64(time.Since(w.epoch) / w.tick) }
+
+// armLocked links t to fire no earlier than d from now: the due tick is
+// the ceiling of the absolute due instant, so a timer can be late by up to
+// one tick but never early. w.mu held.
+func (w *Wheel) armLocked(t *Timer, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	due := time.Since(w.epoch) + d
+	when := (int64(due) + int64(w.tick) - 1) / int64(w.tick)
+	if when <= w.cur {
+		when = w.cur + 1
+	}
+	t.when = when
+	w.placeLocked(t)
+	w.pending++
+	mWheelTimers.Inc()
+}
+
+// placeLocked links t into the slot for its due tick. The level is chosen
+// by the distance from the processed cursor: near timers go to level 0
+// (exact tick), far ones to coarser levels and cascade down as the cursor
+// approaches. w.mu held.
+func (w *Wheel) placeLocked(t *Timer) {
+	delta := t.when - w.cur
+	if delta < 1 {
+		delta = 1
+		t.when = w.cur + 1
+	}
+	level := 0
+	span := int64(wheelSlots)
+	for level < wheelLevels-1 && delta >= span {
+		level++
+		span <<= wheelBits
+	}
+	slot := int((t.when >> (uint(level) * wheelBits)) & wheelMask)
+	t.level, t.slot, t.linked = level, slot, true
+	head := w.slots[level][slot]
+	t.next = head
+	t.prev = nil
+	if head != nil {
+		head.prev = t
+	}
+	w.slots[level][slot] = t
+}
+
+func (w *Wheel) unlinkLocked(t *Timer) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		w.slots[t.level][t.slot] = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	}
+	t.next, t.prev, t.linked = nil, nil, false
+}
+
+// kickDriver ensures the driver goroutine is running and recomputing its
+// sleep after an arm/reset.
+func (w *Wheel) kickDriver() {
+	w.mu.Lock()
+	if w.pending == 0 {
+		w.mu.Unlock()
+		return
+	}
+	if !w.running {
+		w.running = true
+		w.mu.Unlock()
+		go w.drive()
+		return
+	}
+	w.mu.Unlock()
+	select {
+	case w.rearm <- struct{}{}:
+	default:
+	}
+}
+
+// drive is the wheel's single goroutine: advance the cursor to the wall
+// clock, cascade coarse slots down, fire due timers, sleep until the next
+// one. It exits when the wheel empties (and is restarted by the next arm).
+func (w *Wheel) drive() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		w.mu.Lock()
+		fired := w.advanceLocked()
+		if w.pending == 0 && len(fired) == 0 {
+			w.running = false
+			w.mu.Unlock()
+			return
+		}
+		sleep := w.nextSleepLocked()
+		w.mu.Unlock()
+
+		for _, t := range fired {
+			w.mu.Lock()
+			live := t.gen == t.fireGen
+			w.mu.Unlock()
+			if live {
+				mWheelFires.Inc()
+				t.fn()
+			}
+		}
+		if len(fired) > 0 {
+			// Firing took time (and periodic timers re-armed): loop to
+			// re-advance before sleeping.
+			w.recycleFired(fired)
+			continue
+		}
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(sleep)
+		select {
+		case <-timer.C:
+		case <-w.rearm:
+		}
+	}
+}
+
+// advanceLocked processes every tick up to the wall clock: cascading
+// higher-level slots as their boundaries pass and collecting due level-0
+// timers. Periodic timers re-arm immediately. Returns the batch to fire
+// (in recycled storage; hand back via recycleFired).
+func (w *Wheel) advanceLocked() []*Timer {
+	fired := w.fired[:0]
+	w.fired = nil
+	now := w.nowTick()
+	for w.cur < now {
+		w.cur++
+		cur := w.cur
+		// Cascade: when the cursor enters a new level-N slot span, pull
+		// that level's current slot down (timers re-place to finer levels).
+		for level := 1; level < wheelLevels; level++ {
+			shift := uint(level) * wheelBits
+			if cur&((1<<shift)-1) != 0 {
+				break
+			}
+			slot := int((cur >> shift) & wheelMask)
+			head := w.slots[level][slot]
+			w.slots[level][slot] = nil
+			for head != nil {
+				next := head.next
+				head.next, head.prev, head.linked = nil, nil, false
+				if head.when <= cur {
+					head.when = cur // due: land in the current level-0 pass
+				}
+				w.placeLocked(head)
+				head = next
+			}
+		}
+		slot := int(cur & wheelMask)
+		head := w.slots[0][slot]
+		for head != nil {
+			next := head.next
+			if head.when == cur {
+				w.unlinkLocked(head)
+				if head.period > 0 {
+					head.when = cur + head.period
+					w.placeLocked(head)
+				} else {
+					w.pending--
+					mWheelTimers.Dec()
+				}
+				head.fireGen = head.gen
+				fired = append(fired, head)
+			}
+			head = next
+		}
+	}
+	return fired
+}
+
+// recycleFired returns a fire batch's storage for the next advance.
+func (w *Wheel) recycleFired(batch []*Timer) {
+	for i := range batch {
+		batch[i] = nil
+	}
+	w.mu.Lock()
+	if w.fired == nil {
+		w.fired = batch[:0]
+	}
+	w.mu.Unlock()
+}
+
+// nextSleepLocked computes how long the driver may sleep: until the next
+// level-0 timer if one is due before the next level-1 cascade boundary,
+// otherwise to that boundary (so coarse timers are always cascaded down in
+// time, never skipped past). w.mu held.
+func (w *Wheel) nextSleepLocked() time.Duration {
+	next := ((w.cur >> wheelBits) + 1) << wheelBits // next cascade boundary
+	for tick := w.cur + 1; tick <= next; tick++ {
+		found := false
+		for t := w.slots[0][int(tick&wheelMask)]; t != nil; t = t.next {
+			if t.when == tick {
+				found = true
+				break
+			}
+		}
+		if found {
+			next = tick
+			break
+		}
+	}
+	due := w.epoch.Add(time.Duration(next) * w.tick)
+	sleep := time.Until(due)
+	if sleep < w.tick {
+		sleep = w.tick
+	}
+	return sleep
+}

@@ -1,0 +1,199 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAfterFuncFiresOnceNeverEarly(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	const d = 20 * time.Millisecond
+	start := time.Now()
+	fired := make(chan time.Duration, 1)
+	w.AfterFunc(d, func() { fired <- time.Since(start) })
+	select {
+	case lat := <-fired:
+		if lat < d {
+			t.Fatalf("fired early: %v < %v", lat, d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	if n := w.Pending(); n != 0 {
+		t.Fatalf("Pending() = %d after one-shot fire, want 0", n)
+	}
+}
+
+func TestCoarseTimersCascadeOnTime(t *testing.T) {
+	// Durations past one level-0 revolution (64 ticks) land on coarser
+	// levels and must cascade down — firing close to schedule, not at the
+	// next full revolution.
+	w := NewWheel(time.Millisecond)
+	for _, d := range []time.Duration{70 * time.Millisecond, 130 * time.Millisecond, 300 * time.Millisecond} {
+		start := time.Now()
+		fired := make(chan time.Duration, 1)
+		w.AfterFunc(d, func() { fired <- time.Since(start) })
+		select {
+		case lat := <-fired:
+			if lat < d {
+				t.Fatalf("%v timer fired early at %v", d, lat)
+			}
+			if lat > d+d/2+50*time.Millisecond {
+				t.Fatalf("%v timer fired way late at %v (cascade missed?)", d, lat)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%v timer never fired", d)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	var fired atomic.Int32
+	tm := w.AfterFunc(30*time.Millisecond, func() { fired.Add(1) })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false for an armed timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	if n := w.Pending(); n != 0 {
+		t.Fatalf("Pending() = %d after Stop, want 0", n)
+	}
+}
+
+func TestTimerReset(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	start := time.Now()
+	fired := make(chan time.Duration, 1)
+	tm := w.AfterFunc(10*time.Millisecond, func() { fired <- time.Since(start) })
+	const d = 60 * time.Millisecond
+	tm.Reset(d)
+	select {
+	case lat := <-fired:
+		if lat < d {
+			t.Fatalf("reset timer fired at %v, want >= %v", lat, d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reset timer never fired")
+	}
+	// Reset re-arms even after firing.
+	tm.Reset(10 * time.Millisecond)
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-armed timer never fired")
+	}
+}
+
+func TestEveryFiresPeriodicallyUntilStop(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	var fires atomic.Int32
+	tm := w.Every(5*time.Millisecond, func() { fires.Add(1) })
+	waitFor(t, "3 periodic fires", func() bool { return fires.Load() >= 3 })
+	tm.Stop()
+	n := fires.Load()
+	time.Sleep(30 * time.Millisecond)
+	if got := fires.Load(); got != n {
+		t.Fatalf("periodic timer fired %d more times after Stop", got-n)
+	}
+	if p := w.Pending(); p != 0 {
+		t.Fatalf("Pending() = %d after stopping periodic timer, want 0", p)
+	}
+}
+
+func TestDriverExitsWhenWheelEmpties(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	before := runtime.NumGoroutine()
+	done := make(chan struct{})
+	w.AfterFunc(5*time.Millisecond, func() { close(done) })
+	<-done
+	waitFor(t, "driver goroutine exit", func() bool {
+		runtime.Gosched()
+		return runtime.NumGoroutine() <= before
+	})
+}
+
+func TestManyTimersOneDriver(t *testing.T) {
+	// 10k armed timers must cost one goroutine (the driver), not 10k.
+	w := NewWheel(time.Millisecond)
+	base := runtime.NumGoroutine()
+	var fires atomic.Int32
+	timers := make([]*Timer, 10000)
+	for i := range timers {
+		timers[i] = w.AfterFunc(time.Duration(1+i%50)*100*time.Millisecond, func() { fires.Add(1) })
+	}
+	if n := w.Pending(); n != 10000 {
+		t.Fatalf("Pending() = %d, want 10000", n)
+	}
+	if g := runtime.NumGoroutine(); g > base+2 {
+		t.Fatalf("10k armed timers spawned %d goroutines, want O(1)", g-base)
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	if n := w.Pending(); n != 0 {
+		t.Fatalf("Pending() = %d after stopping all, want 0", n)
+	}
+}
+
+func TestStopFromCallbackAndSelfReset(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	var fires atomic.Int32
+	var tm *Timer
+	armed := make(chan struct{})
+	tm = w.Every(3*time.Millisecond, func() {
+		if fires.Add(1) == 2 {
+			<-armed // ensure tm is assigned
+			tm.Stop()
+		}
+	})
+	close(armed)
+	waitFor(t, "self-stop", func() bool { return fires.Load() >= 2 })
+	time.Sleep(20 * time.Millisecond)
+	if got := fires.Load(); got != 2 {
+		t.Fatalf("timer fired %d times after stopping itself, want 2", got)
+	}
+}
+
+func TestSharedWheelSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared() returned different wheels")
+	}
+	done := make(chan struct{})
+	Shared().AfterFunc(2*time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shared wheel never fired")
+	}
+}
+
+// BenchmarkTimerWheel is a gated bench: the cost of re-arming a timer on a
+// busy wheel (the handshake-timeout / sweep-reschedule hot path). Must stay
+// allocation-free.
+func BenchmarkTimerWheel(b *testing.B) {
+	w := NewWheel(time.Millisecond)
+	// Populate the wheel so re-arm traverses realistic slot chains.
+	bg := make([]*Timer, 512)
+	for i := range bg {
+		bg[i] = w.AfterFunc(time.Duration(i+1)*time.Hour/512, func() {})
+	}
+	tm := w.AfterFunc(time.Hour, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(time.Duration(1+i%1000) * time.Millisecond)
+	}
+	b.StopTimer()
+	tm.Stop()
+	for _, t := range bg {
+		t.Stop()
+	}
+}

@@ -1,0 +1,194 @@
+package uniserver
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"uniint/internal/leakcheck"
+	"uniint/internal/netsim"
+	"uniint/internal/rfb"
+	"uniint/internal/sched"
+	"uniint/internal/toolkit"
+	"uniint/internal/workload"
+)
+
+// edgeWire builds a server and attaches one edge session over an event
+// pipe, with the client hello (optionally carrying a resume token)
+// pipelined so AttachEdge never blocks. It returns the client end with
+// the server's handshake output still buffered.
+func edgeWire(t *testing.T, srv *Server, token string) *netsim.EventConn {
+	t.Helper()
+	client, server := netsim.EventPipe()
+	if _, err := client.Write(rfb.ClientHello(token)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AttachEdge(server, nil); err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+// readServerInit drains and parses the server handshake from an edge
+// client: version + security word + ServerInit, returning the resumed
+// verdict and the issued session token.
+func readServerInit(t *testing.T, client *netsim.EventConn) (resumed bool, token string) {
+	t.Helper()
+	var hs []byte
+	buf := make([]byte, 512)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n, err := client.ReadAvailable(buf)
+		hs = append(hs, buf[:n]...)
+		if err != nil {
+			t.Fatalf("handshake read: %v", err)
+		}
+		// version(12) + security(4) + w,h(4) + pf(16) + namelen(4).
+		if len(hs) >= 40 {
+			nameLen := int(uint32(hs[36])<<24 | uint32(hs[37])<<16 | uint32(hs[38])<<8 | uint32(hs[39]))
+			if len(hs) >= 40+nameLen+2 {
+				rest := hs[40+nameLen:]
+				resumed = rest[0] == 1
+				tl := int(rest[1])
+				if len(rest) >= 2+tl {
+					return resumed, string(rest[2 : 2+tl])
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("incomplete server handshake after %d bytes", len(hs))
+		}
+		if n == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestAttachEdgeServesUpdates(t *testing.T) {
+	leakcheck.Check(t, 0)
+	display := toolkit.NewDisplay(160, 120)
+	srv := New(display, "edge test")
+	defer srv.Close()
+
+	client := edgeWire(t, srv, "")
+	resumed, token := readServerInit(t, client)
+	if resumed || token == "" {
+		t.Fatalf("fresh session: resumed=%v token=%q", resumed, token)
+	}
+
+	// A full-frame request must produce a framebuffer update with zero
+	// client goroutines: write the request, wait for update bytes.
+	req := []byte{3, 0, 0, 0, 0, 0, 0, 160, 0, 120}
+	if _, err := client.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "framebuffer update", func() bool { return client.Buffered() > 0 })
+	client.Close()
+}
+
+func TestAttachEdgeRejectsBlockingConn(t *testing.T) {
+	display := toolkit.NewDisplay(32, 24)
+	srv := New(display, "edge test")
+	defer srv.Close()
+	a, b := net.Pipe()
+	defer a.Close()
+	if err := srv.AttachEdge(b, nil); err != ErrNotEdge {
+		t.Fatalf("AttachEdge(net.Pipe) = %v, want ErrNotEdge", err)
+	}
+}
+
+func TestEdgeDisconnectParksAndResumes(t *testing.T) {
+	leakcheck.Check(t, 0)
+	display := toolkit.NewDisplay(160, 120)
+	srv := New(display, "edge test")
+	defer srv.Close()
+
+	client := edgeWire(t, srv, "")
+	_, token := readServerInit(t, client)
+
+	// Type a key so the parked state carries input accounting.
+	key := []byte{4, 1, 0, 0, 0, 0, 0, 0x61}
+	if _, err := client.Write(key); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	waitFor(t, "session parked", func() bool { return srv.Parked() == 1 })
+	if !srv.HasParked(token) {
+		t.Fatalf("HasParked(%q) = false after park", token)
+	}
+
+	// Resume with the issued token on a fresh edge connection.
+	client2 := edgeWire(t, srv, token)
+	defer client2.Close()
+	resumed, token2 := readServerInit(t, client2)
+	if !resumed || token2 != token {
+		t.Fatalf("resume: resumed=%v token=%q want %q", resumed, token2, token)
+	}
+	waitFor(t, "lot emptied", func() bool { return srv.Parked() == 0 })
+
+	// The onClose hook runs once after the resumed session retires.
+	closed := make(chan struct{})
+	client3, server3 := netsim.EventPipe()
+	client3.Write(rfb.ClientHello(""))
+	if err := srv.AttachEdge(server3, func() { close(closed) }); err != nil {
+		t.Fatal(err)
+	}
+	readServerInit(t, client3)
+	client3.Close()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("onClose not invoked after edge disconnect")
+	}
+}
+
+func TestEdgeCloseLeavesNoGoroutines(t *testing.T) {
+	leakcheck.Check(t, 0)
+	display := toolkit.NewDisplay(160, 120)
+	srv := New(display, "edge test", WithParkTTL(0))
+	clients := make([]*netsim.EventConn, 0, 8)
+	for i := 0; i < 8; i++ {
+		clients = append(clients, edgeWire(t, srv, ""))
+	}
+	// Close with every session still attached: Close must disconnect them,
+	// wait out the teardown turns and join its own pool workers.
+	srv.Close()
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+func TestThousandIdleEdgeSessionsBoundedGoroutines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-session fleet")
+	}
+	leakcheck.Check(t, 0)
+	const sessions, workers = 1000, 4
+	display := toolkit.NewDisplay(32, 24)
+	pool := sched.NewPool(workers)
+	defer pool.Close()
+	srv := New(display, "edge fleet", WithPool(pool), WithParkTTL(0))
+	defer srv.Close()
+
+	base := runtime.NumGoroutine()
+	clients, err := workload.IdleFleet(sessions, func(conn net.Conn) error {
+		return srv.AttachEdge(conn, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Sessions(); got != sessions {
+		t.Fatalf("Sessions() = %d, want %d", got, sessions)
+	}
+	// The core budget claim: goroutine count is independent of session
+	// count. base already includes the pool's workers; the fleet may add
+	// at most transient turns (absorbed by Assert's settle loop) — allow
+	// a small constant, nothing proportional to the 1000 sessions.
+	leakcheck.Assert(t, base+8, "1k idle edge sessions")
+
+	for _, c := range clients {
+		c.Close()
+	}
+	waitFor(t, "fleet retired", func() bool { return srv.Sessions() == 0 })
+}

@@ -198,60 +198,47 @@ func (q *inputQueue) depth() int {
 	return len(q.buf)
 }
 
-// dispatchLoop owns input injection for one session: it drains the queue
-// and feeds the window system, so a stalled widget callback can never
-// block the protocol read loop (the input-side sibling of writeLoop).
-func (c *session) dispatchLoop() {
-	defer close(c.dispatchDone)
+// dispatchTurn is the dispatch task's turn: it owns input injection for
+// one session, draining the queue into the window system so a stalled
+// widget callback can never block the protocol read loop (the input-side
+// sibling of writerTurn). One turn dispatches one drained batch; events
+// enqueued mid-turn kick the task again and dispatch on the next turn.
+func (c *session) dispatchTurn() {
 	// Events still queued when the session dies are drained by HandleConn
-	// after this loop exits (Serve has returned by then, so no put races
-	// the final drain): they carry into the detach lot for replay on
-	// resume, or count as abandoned when parking is off.
-	for {
-		select {
-		case <-c.inKick:
-		case <-c.quit:
-			return
+	// after the task is stopped (Serve has returned by then, so no put
+	// races the final drain): they carry into the detach lot for replay
+	// on resume, or count as abandoned when parking is off.
+	batch := c.inq.take()
+	if len(batch) == 0 {
+		return
+	}
+	// Stamp the oldest outstanding input so the writer can close the
+	// input→damage→update latency loop when the resulting
+	// FramebufferUpdate ships.
+	c.inputMark.CompareAndSwap(0, batch[0].enq)
+	for i := range batch {
+		ev := &batch[i]
+		t0 := int64(0)
+		if ev.trace != 0 {
+			t0 = time.Now().UnixNano()
+			// The queue span: read-loop enqueue to dispatcher pickup.
+			// For an event replayed across a park window it straddles
+			// the detach (the park span explains it).
+			trace.Record(ev.trace, trace.StageQueue, ev.enq, t0)
 		}
-		for {
-			select {
-			case <-c.quit:
-				return
-			default:
-			}
-			batch := c.inq.take()
-			if len(batch) == 0 {
-				break
-			}
-			// Stamp the oldest outstanding input so the writer can close
-			// the input→damage→update latency loop when the resulting
-			// FramebufferUpdate ships.
-			c.inputMark.CompareAndSwap(0, batch[0].enq)
-			for i := range batch {
-				ev := &batch[i]
-				t0 := int64(0)
-				if ev.trace != 0 {
-					t0 = time.Now().UnixNano()
-					// The queue span: read-loop enqueue to dispatcher
-					// pickup. For an event replayed across a park window
-					// it straddles the detach (the park span explains it).
-					trace.Record(ev.trace, trace.StageQueue, ev.enq, t0)
-				}
-				if ev.pointer {
-					c.srv.display.InjectPointerTraced(int(ev.ptr.X), int(ev.ptr.Y), ev.ptr.Buttons, ev.trace)
-				} else {
-					c.srv.display.InjectKeyTraced(ev.key.Down, toolkit.Key(ev.key.Key), ev.trace)
-				}
-				mInputDispatched.Inc()
-				now := time.Now().UnixNano()
-				if ev.trace != 0 {
-					trace.Record(ev.trace, trace.StageDispatch, t0, now)
-					mInputDispatchSec.ObserveExemplar(float64(now-ev.enq)/1e9, ev.trace)
-				} else {
-					mInputDispatchSec.Observe(float64(now-ev.enq) / 1e9)
-				}
-			}
-			c.inq.recycle(batch)
+		if ev.pointer {
+			c.srv.display.InjectPointerTraced(int(ev.ptr.X), int(ev.ptr.Y), ev.ptr.Buttons, ev.trace)
+		} else {
+			c.srv.display.InjectKeyTraced(ev.key.Down, toolkit.Key(ev.key.Key), ev.trace)
+		}
+		mInputDispatched.Inc()
+		now := time.Now().UnixNano()
+		if ev.trace != 0 {
+			trace.Record(ev.trace, trace.StageDispatch, t0, now)
+			mInputDispatchSec.ObserveExemplar(float64(now-ev.enq)/1e9, ev.trace)
+		} else {
+			mInputDispatchSec.Observe(float64(now-ev.enq) / 1e9)
 		}
 	}
+	c.inq.recycle(batch)
 }

@@ -8,6 +8,7 @@ import (
 	"uniint/internal/gfx"
 	"uniint/internal/metrics"
 	"uniint/internal/rfb"
+	"uniint/internal/sched"
 	"uniint/internal/trace"
 )
 
@@ -35,6 +36,15 @@ var (
 	mDetachSeconds  = metrics.Default().Histogram("session_detach_seconds", metrics.DurationBuckets())
 )
 
+// Parked-memory accounting: lot_parked_bytes is the resident size of every
+// parked session's shadow state (raw while freshly parked, deflated once
+// the compression turn lands); lot_parked_bytes_compressed is the portion
+// held cold. Both move under lotMu wherever entries enter or leave.
+var (
+	mLotParkedBytes     = metrics.Default().Gauge("lot_parked_bytes")
+	mLotParkedBytesComp = metrics.Default().Gauge("lot_parked_bytes_compressed")
+)
+
 // Default detach-lot policy: how long a disconnected session waits for
 // its owner to return, and how many may wait per server. Both are
 // per-server (per-home under the hub), so a hub hosting M homes parks at
@@ -58,8 +68,38 @@ type parkedSession struct {
 	lastPtrMask uint8
 	ws          *rfb.WireState // wire model; Reset (not rebuilt) on resume
 
+	// Cold storage: a pool turn deflates the shadow shortly after parking
+	// (compressParked), replacing ws with packed. compressing is non-nil
+	// while that turn is reading ws off-lock; a claim landing mid-pack
+	// waits on it so the resumed session never races the snapshot read.
+	// All three fields are guarded by lotMu.
+	packed      *rfb.PackedShadow
+	compressing chan struct{}
+
 	parkedAt time.Time
 	deadline time.Time
+}
+
+// residentBytes returns the lot-gauge contribution of ps: resident bytes
+// and the compressed portion. Call with lotMu held.
+func (ps *parkedSession) residentBytes() (resident, compressed int64) {
+	if ps.packed != nil {
+		n := int64(ps.packed.CompressedBytes())
+		return n, n
+	}
+	if ps.ws != nil {
+		return int64(ps.ws.ShadowBytes()), 0
+	}
+	return 0, 0
+}
+
+// lotBytesAdd moves the parked-memory gauges by sign×ps's current
+// footprint. Call with lotMu held, at every lot insert (+1) and remove
+// (-1).
+func lotBytesAdd(ps *parkedSession, sign int64) {
+	r, c := ps.residentBytes()
+	mLotParkedBytes.Add(sign * r)
+	mLotParkedBytesComp.Add(sign * c)
 }
 
 // newSessionToken issues an opaque 96-bit resume token. Token space is
@@ -95,12 +135,21 @@ func (s *Server) claimParked(token string, w, h int) *parkedSession {
 	if now.After(ps.deadline) || ps.w != w || ps.h != h {
 		delete(s.lot, token)
 		mSessParkedNow.Dec()
+		lotBytesAdd(ps, -1)
 		s.lotMu.Unlock()
 		s.expire(ps, now)
 		return nil
 	}
 	ps.claimed = true
+	packing := ps.compressing
 	s.lotMu.Unlock()
+	if packing != nil {
+		// A compression turn is mid-read on the shadow this claim is about
+		// to hand to a live session. Wait it out (it is bounded CPU work);
+		// claimed is already set, so its install check will discard the
+		// snapshot and the resume proceeds on the uncompressed state.
+		<-packing
+	}
 	return ps
 }
 
@@ -109,7 +158,9 @@ func (s *Server) claimParked(token string, w, h int) *parkedSession {
 // was drained underneath the claim (server shutdown).
 func (s *Server) releaseClaim(ps *parkedSession) {
 	s.lotMu.Lock()
-	if s.lot[ps.token] == ps {
+	back := s.lot[ps.token] == ps
+	repack := back && ps.packed == nil
+	if back {
 		ps.claimed = false
 		// The janitor skips claimed entries (and may have disarmed while
 		// this one was the only resident): re-arm for its deadline so a
@@ -117,6 +168,11 @@ func (s *Server) releaseClaim(ps *parkedSession) {
 		s.scheduleSweepLocked(ps.deadline)
 	}
 	s.lotMu.Unlock()
+	if repack {
+		// The claim that aborted the first compression turn fell through;
+		// the entry is waiting out its TTL again, so re-freeze it.
+		s.pool.Go(func() { s.compressParked(ps) })
+	}
 }
 
 // expire settles the accounting for a parked session that will never be
@@ -161,6 +217,7 @@ func (s *Server) register(sess *session, reclaimed *parkedSession) bool {
 		}
 		delete(s.lot, reclaimed.token)
 		mSessParkedNow.Dec()
+		lotBytesAdd(reclaimed, -1)
 		s.lotMu.Unlock()
 		sess.adopt(reclaimed)
 		mSessResumed.Inc()
@@ -238,9 +295,11 @@ func (s *Server) retire(sess *session, events []inputEvent) bool {
 		if oldest != nil {
 			delete(s.lot, oldest.token)
 			mSessParkedNow.Dec()
+			lotBytesAdd(oldest, -1)
 		}
 	}
 	s.lot[ps.token] = ps
+	lotBytesAdd(ps, +1)
 	s.scheduleSweepLocked(ps.deadline)
 	s.lotMu.Unlock()
 	sess.mu.Unlock()
@@ -250,7 +309,43 @@ func (s *Server) retire(sess *session, events []inputEvent) bool {
 	}
 	mSessParked.Inc()
 	mSessParkedNow.Inc()
+	// Freeze the parked state cold off the critical path: a pool turn
+	// deflates the shadow and swaps it in, unless a claim gets there
+	// first. (On a closing pool the turn simply never runs; the raw state
+	// stays resident until the lot drains.)
+	s.pool.Go(func() { s.compressParked(ps) })
 	return true
+}
+
+// compressParked is the pool turn that moves one parked session's shadow
+// into cold storage. It reads the WireState outside lotMu (packing is
+// bounded but not trivial CPU work), then installs the packed form only
+// if the entry is still parked and unclaimed — a claim that lands mid-
+// pack wins, waits for the read to finish (claimParked), and resumes on
+// the uncompressed state.
+func (s *Server) compressParked(ps *parkedSession) {
+	s.lotMu.Lock()
+	if s.lot[ps.token] != ps || ps.claimed || ps.ws == nil {
+		s.lotMu.Unlock()
+		return
+	}
+	done := make(chan struct{})
+	ps.compressing = done
+	ws := ps.ws
+	s.lotMu.Unlock()
+
+	packed, err := ws.Pack()
+
+	s.lotMu.Lock()
+	ps.compressing = nil
+	if err == nil && s.lot[ps.token] == ps && !ps.claimed {
+		lotBytesAdd(ps, -1)
+		ps.ws = nil
+		ps.packed = packed
+		lotBytesAdd(ps, +1)
+	}
+	s.lotMu.Unlock()
+	close(done)
 }
 
 // adopt seeds a fresh session with reclaimed parked state. It runs before
@@ -261,6 +356,15 @@ func (c *session) adopt(ps *parkedSession) {
 	c.pending = ps.pending
 	c.hasPending = ps.hasPending
 	c.lastPtrMask = ps.lastPtrMask
+	if ps.ws == nil && ps.packed != nil {
+		// The shadow went cold while parked: thaw it. A decode failure
+		// (impossible short of memory corruption) falls back to the fresh
+		// WireState the session was built with — the resync degrades to a
+		// full repaint instead of failing the resume.
+		if ws, err := ps.packed.Unpack(c.srv.tiles); err == nil {
+			ps.ws = ws
+		}
+	}
 	if ps.ws != nil {
 		// Reuse the parked wire model's storage, but distrust its content:
 		// the reconnecting client's tile memory is fresh (tile memory does
@@ -286,14 +390,16 @@ func (c *session) adopt(ps *parkedSession) {
 }
 
 // scheduleSweepLocked arms the lot janitor for the given deadline if no
-// earlier sweep is already scheduled. lotMu must be held.
+// earlier sweep is already scheduled. The janitor is a timer on the shared
+// wheel, so a process full of detach lots holds O(1) runtime timers.
+// lotMu must be held.
 func (s *Server) scheduleSweepLocked(deadline time.Time) {
 	d := time.Until(deadline) + time.Millisecond
 	if d < time.Millisecond {
 		d = time.Millisecond
 	}
 	if s.lotTimer == nil {
-		s.lotTimer = time.AfterFunc(d, s.sweepLot)
+		s.lotTimer = sched.Shared().AfterFunc(d, s.sweepLot)
 		s.lotSweepAt = deadline
 		return
 	}
@@ -318,6 +424,7 @@ func (s *Server) sweepLot() {
 		if now.After(ps.deadline) {
 			delete(s.lot, tok)
 			mSessParkedNow.Dec()
+			lotBytesAdd(ps, -1)
 			expired = append(expired, ps)
 			continue
 		}
@@ -355,6 +462,9 @@ func (s *Server) drainLot() {
 	s.lot = nil
 	if n := len(lot); n > 0 {
 		mSessParkedNow.Add(int64(-n))
+		for _, ps := range lot {
+			lotBytesAdd(ps, -1)
+		}
 	}
 	s.lotMu.Unlock()
 	for _, ps := range lot {

@@ -20,6 +20,7 @@ import (
 	"uniint/internal/gfx"
 	"uniint/internal/metrics"
 	"uniint/internal/rfb"
+	"uniint/internal/sched"
 	"uniint/internal/toolkit"
 	"uniint/internal/trace"
 )
@@ -42,6 +43,13 @@ var (
 type Server struct {
 	display *toolkit.Display
 	name    string
+
+	// pool executes all session turns (writer drains, input dispatch,
+	// deferred teardown). Owned by the server unless injected with
+	// WithPool — the hub injects one pool for every home, which is the
+	// point: worker count is a per-process budget, not a per-session cost.
+	pool    *sched.Pool
+	ownPool bool
 
 	mu       sync.Mutex
 	sessions map[*session]struct{}
@@ -66,7 +74,7 @@ type Server struct {
 	parkCap    int
 	lotMu      sync.Mutex
 	lot        map[string]*parkedSession
-	lotTimer   *time.Timer
+	lotTimer   *sched.Timer // janitor on the shared wheel, armed on demand
 	lotSweepAt time.Time
 }
 
@@ -102,6 +110,14 @@ func WithTileCache(tc *rfb.TileCache) Option {
 	return func(s *Server) { s.tiles = tc }
 }
 
+// WithPool runs the server's session turns on a shared worker pool instead
+// of a private one. The caller keeps ownership: Server.Close will not close
+// an injected pool. The hub passes one pool to every home it hosts, making
+// the worker count a process-wide budget.
+func WithPool(p *sched.Pool) Option {
+	return func(s *Server) { s.pool = p }
+}
+
 // New creates a server for the given display. name is announced to
 // clients during the handshake.
 func New(display *toolkit.Display, name string, opts ...Option) *Server {
@@ -118,9 +134,16 @@ func New(display *toolkit.Display, name string, opts ...Option) *Server {
 	if s.parkCap < 1 {
 		s.parkTTL = 0
 	}
+	if s.pool == nil {
+		s.pool = sched.NewPool(0)
+		s.ownPool = true
+	}
 	display.OnDamage(s.pump)
 	return s
 }
+
+// Pool returns the worker pool executing this server's session turns.
+func (s *Server) Pool() *sched.Pool { return s.pool }
 
 // Display returns the served display.
 func (s *Server) Display() *toolkit.Display { return s.display }
@@ -155,9 +178,12 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	// presenting a resume token, say) must fail within the deadline so
 	// its claim releases and the parked session stays reclaimable —
 	// unbounded, a half-open link would hold the claim forever (the lot
-	// janitor skips claimed entries).
-	_ = conn.SetDeadline(time.Now().Add(HandshakeTimeout))
+	// janitor skips claimed entries). The bound is a wheel timer, not a
+	// conn deadline: a process full of mid-handshake peers arms O(1) OS
+	// timers, and transports without deadline support work too.
+	hsTimer := sched.Shared().AfterFunc(HandshakeTimeout, func() { conn.Close() })
 	rc, err := rfb.NewServerConnToken(conn, w, h, s.name, ex)
+	hsTimer.Stop()
 	if err != nil {
 		if reclaimed != nil {
 			// Claimed during the handshake, but the handshake failed to
@@ -166,23 +192,21 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		}
 		return err
 	}
-	_ = conn.SetDeadline(time.Time{})
 	sess := &session{
-		srv:          s,
-		conn:         rc,
-		token:        rc.Token(),
-		routeStart:   routeStart,
-		routeEnd:     routeEnd,
-		dirty:        gfx.NewDamage(gfx.R(0, 0, w, h), 16),
-		outbox:       gfx.NewDamage(gfx.R(0, 0, w, h), 16),
-		bounds:       gfx.R(0, 0, w, h),
-		kick:         make(chan struct{}, 1),
-		inKick:       make(chan struct{}, 1),
-		quit:         make(chan struct{}),
-		writerDone:   make(chan struct{}),
-		dispatchDone: make(chan struct{}),
-		ws:           rfb.NewWireState(s.tiles, w, h),
+		srv:        s,
+		conn:       rc,
+		token:      rc.Token(),
+		routeStart: routeStart,
+		routeEnd:   routeEnd,
+		dirty:      gfx.NewDamage(gfx.R(0, 0, w, h), 16),
+		outbox:     gfx.NewDamage(gfx.R(0, 0, w, h), 16),
+		bounds:     gfx.R(0, 0, w, h),
+		ws:         rfb.NewWireState(s.tiles, w, h),
 	}
+	// The tasks exist before the session is visible to the pump, so a
+	// damage kick arriving mid-register always has a target.
+	sess.writeTask = s.pool.NewTask(sess.writerTurn)
+	sess.dispatchTask = s.pool.NewTask(sess.dispatchTurn)
 	// register atomically swaps a reclaimed lot entry into the live
 	// session set (under the pump mutex, so no damage falls between the
 	// lot and the session) and adopts its state.
@@ -193,8 +217,6 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	}
 	mSessions.Inc()
 
-	go sess.writeLoop()
-	go sess.dispatchLoop()
 	if resumed {
 		// Reclaimed state may already have work: a parked request plus
 		// detach-window damage ships the resync without waiting for the
@@ -207,10 +229,9 @@ func (s *Server) HandleConn(conn net.Conn) error {
 
 	mSessions.Dec()
 	rc.Close()
-	close(sess.quit)
-	<-sess.writerDone
-	<-sess.dispatchDone
-	// The goroutines are dead: retire the session — one atomic step that
+	sess.writeTask.Stop()
+	sess.dispatchTask.Stop()
+	// The session's turns are over: retire it — one atomic step that
 	// removes it from the pump set and parks the remaining state for a
 	// reconnect (or settles the accounting when parking is off). Damage
 	// pumped until that step still lands on the session and carries into
@@ -230,6 +251,9 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		s.wg.Add(1)
+		// goroutine-ok: Serve is the blocking-transport entry point — one
+		// goroutine per accepted conn is its documented cost; goroutine-free
+		// sessions use AttachEdge.
 		go func() {
 			defer s.wg.Done()
 			_ = s.HandleConn(conn)
@@ -251,6 +275,9 @@ func (s *Server) Close() {
 	}
 	s.wg.Wait()
 	s.drainLot()
+	if s.ownPool {
+		s.pool.Close()
+	}
 }
 
 // Sessions returns the number of connected proxies.
@@ -297,11 +324,12 @@ func (s *Server) pump() {
 // session is one proxy connection: per-client dirty tracking plus the
 // demand-driven update state machine of the protocol.
 //
-// Updates are transmitted by a dedicated writer goroutine. This keeps the
-// read loop (and the GUI goroutines firing damage hooks) from ever
-// blocking on a slow transport — without it, a synchronous in-process
-// pipe can form a cycle: the read loop blocks writing an update, the peer
-// blocks writing a request, and neither side drains the other.
+// Updates are transmitted by the session's writer task — turns on the
+// server's worker pool, never the read loop. This keeps the read loop
+// (and the GUI goroutines firing damage hooks) from ever blocking on a
+// slow transport — without it, a synchronous in-process pipe can form a
+// cycle: the read loop blocks writing an update, the peer blocks writing
+// a request, and neither side drains the other.
 //
 // The writer drains an outbox damage set rather than a queue of encoded
 // updates: while a write is in flight on a slow transport, every newly
@@ -316,11 +344,23 @@ type session struct {
 	token  string // resume token; keys the detach lot on disconnect
 	bounds gfx.Rect
 
-	kick         chan struct{} // cap 1: work available for the writer
-	inKick       chan struct{} // cap 1: input queued for the dispatcher
-	quit         chan struct{}
-	writerDone   chan struct{}
-	dispatchDone chan struct{}
+	// The session's schedulable work, as run-queue tasks on srv.pool: a
+	// kick (wake/wakeDispatch) marks the task runnable, the pool runs the
+	// turn, and the task state machine guarantees at-most-once queueing no
+	// matter how many kicks land. An idle session holds no goroutine and
+	// no timer here — just these two structs.
+	writeTask    *sched.Task
+	dispatchTask *sched.Task
+
+	// Edge (readiness-driven) sessions only — nil/zero for HandleConn
+	// sessions: edge is the non-blocking transport, readTask drains it on
+	// readiness kicks, onClose runs once after retirement (the hub's entry
+	// unpin), and dead marks a torn-down session so late kicks no-op.
+	// dead is read-turn-only state; turn serialization orders its accesses.
+	edge     edgeTransport
+	readTask *sched.Task
+	onClose  func()
+	dead     bool
 
 	// Input events are dispatched by a dedicated goroutine draining inq
 	// (see inputqueue.go), the input-side twin of the writer: a home app
@@ -358,14 +398,25 @@ type session struct {
 	outbox     *gfx.Damage // requested damage awaiting the writer
 	owedEmpty  int         // zero-rect replies owed (empty-region requests)
 
-	// Writer-goroutine-only scratch (no locking needed). ws is the wire
-	// tier's model of the client (shadow framebuffer + tile window); it
-	// parks with the session and is Reset whenever the model can no
-	// longer be trusted (resume, encode error, failed send).
-	spare []gfx.Rect
-	urs   []rfb.UpdateRect
-	ws    *rfb.WireState
+	// ws is the wire tier's model of the client (shadow framebuffer +
+	// tile window); writer-turn-only. Unlike turn scratch it is client
+	// STATE, not scratch — it parks with the session and is Reset
+	// whenever the model can no longer be trusted (resume, encode error,
+	// failed send). Drain and encode scratch is NOT pinned here: writer
+	// turns check a turnScratch out of the central pool, so that memory
+	// scales with concurrent turns, not sessions.
+	ws *rfb.WireState
 }
+
+// turnScratch is the rect-drain and update-assembly scratch a writer turn
+// checks out for its duration. Pooled centrally: O(workers) of it exists
+// however many sessions are parked on the run-queue.
+type turnScratch struct {
+	rects []gfx.Rect
+	urs   []rfb.UpdateRect
+}
+
+var turnScratchPool = sync.Pool{New: func() any { return new(turnScratch) }}
 
 // enqueue merges requested rectangles into the outbox and wakes the
 // writer. Rectangles landing while the outbox is non-empty are coalescing
@@ -390,82 +441,62 @@ func (c *session) enqueue(rects []gfx.Rect) {
 	c.wake()
 }
 
-func (c *session) wake() {
-	select {
-	case c.kick <- struct{}{}:
-	default: // writer already signalled
-	}
-}
+func (c *session) wake() { c.writeTask.Kick() }
 
-// writeLoop owns all update transmission for the session: it drains the
-// outbox (and owed empty replies), encodes under the display lock with
-// pooled scratch, and ships one FramebufferUpdate per drain.
-func (c *session) writeLoop() {
-	defer close(c.writerDone)
-	for {
-		select {
-		case <-c.kick:
-		case <-c.quit:
-			return
-		}
-		for {
-			select {
-			case <-c.quit:
-				return
-			default:
-			}
-			// Process parked protocol requests first: render pending
-			// damage on the writer's time, never the read loop's — the
-			// pump takes the display widget lock, and a stalled widget
-			// callback must only delay updates, not request reads. The
-			// resulting rects land in the outbox before it drains below.
-			c.mu.Lock()
-			reqs := c.reqs
-			if c.reqSpare != nil {
-				c.reqs = c.reqSpare[:0]
-				c.reqSpare = nil
-			} else {
-				c.reqs = nil
-			}
-			c.mu.Unlock()
-			if len(reqs) > 0 {
-				// Ensure damage from before these requests is rendered.
-				c.srv.pump()
-				for _, req := range reqs {
-					c.processRequest(req)
-				}
-			}
-			c.mu.Lock()
-			if c.reqSpare == nil {
-				c.reqSpare = reqs[:0]
-			}
-			rects := c.outbox.TakeInto(c.spare)
-			c.spare = nil
-			empties := c.owedEmpty
-			c.owedEmpty = 0
-			c.mu.Unlock()
-			if len(rects) == 0 && empties == 0 && len(reqs) == 0 {
-				c.spare = rects
-				break
-			}
-			for i := 0; i < empties; i++ {
-				if err := c.conn.SendEmptyUpdate(); err != nil {
-					mUpdateDrops.Inc()
-				} else {
-					mUpdatesSent.Inc()
-				}
-			}
-			if len(rects) > 0 {
-				c.flush(rects)
-			}
-			c.spare = rects
+// writerTurn is the writer task's turn: it owns all update transmission
+// for the session. One turn processes the parked protocol requests, drains
+// the outbox (and owed empty replies), encodes under the display lock with
+// pooled scratch, and ships one FramebufferUpdate. Work arriving mid-turn
+// kicks the task again, so the pool re-queues it — nothing is lost and
+// nothing busy-waits.
+func (c *session) writerTurn() {
+	ts := turnScratchPool.Get().(*turnScratch)
+	// Process parked protocol requests first: render pending damage on
+	// the writer's time, never the read loop's — the pump takes the
+	// display widget lock, and a stalled widget callback must only delay
+	// updates, not request reads. The resulting rects land in the outbox
+	// before it drains below, so they ship within this same turn.
+	c.mu.Lock()
+	reqs := c.reqs
+	if c.reqSpare != nil {
+		c.reqs = c.reqSpare[:0]
+		c.reqSpare = nil
+	} else {
+		c.reqs = nil
+	}
+	c.mu.Unlock()
+	if len(reqs) > 0 {
+		// Ensure damage from before these requests is rendered.
+		c.srv.pump()
+		for _, req := range reqs {
+			c.processRequest(req)
 		}
 	}
+	c.mu.Lock()
+	if c.reqSpare == nil {
+		c.reqSpare = reqs[:0]
+	}
+	rects := c.outbox.TakeInto(ts.rects[:0])
+	empties := c.owedEmpty
+	c.owedEmpty = 0
+	c.mu.Unlock()
+	for i := 0; i < empties; i++ {
+		if err := c.conn.SendEmptyUpdate(); err != nil {
+			mUpdateDrops.Inc()
+		} else {
+			mUpdatesSent.Inc()
+		}
+	}
+	if len(rects) > 0 {
+		c.flush(rects, ts)
+	}
+	ts.rects = rects
+	turnScratchPool.Put(ts)
 }
 
 // flush encodes the coalesced rectangles (adaptive per-rect encoding on
 // pooled scratch) and transmits them as one FramebufferUpdate.
-func (c *session) flush(rects []gfx.Rect) {
+func (c *session) flush(rects []gfx.Rect, ts *turnScratch) {
 	var (
 		prep *rfb.PreparedUpdate
 		err  error
@@ -476,7 +507,7 @@ func (c *session) flush(rects []gfx.Rect) {
 		// The session's geometry is fixed at handshake, but the display
 		// may have been resized since: clip to the live framebuffer so
 		// the encoder never walks outside it.
-		urs := c.urs[:0]
+		urs := ts.urs[:0]
 		for _, r := range rects {
 			r = r.Intersect(fb.Bounds())
 			if r.Empty() {
@@ -484,7 +515,7 @@ func (c *session) flush(rects []gfx.Rect) {
 			}
 			urs = append(urs, rfb.UpdateRect{Rect: r, Encoding: rfb.EncAdaptive})
 		}
-		c.urs = urs
+		ts.urs = urs
 		if len(urs) == 0 {
 			return
 		}
@@ -602,12 +633,7 @@ func (c *session) takeEventTrace(now int64) uint64 {
 	return tid
 }
 
-func (c *session) wakeDispatch() {
-	select {
-	case c.inKick <- struct{}{}:
-	default: // dispatcher already signalled
-	}
-}
+func (c *session) wakeDispatch() { c.dispatchTask.Kick() }
 
 // CutText implements rfb.ServerHandler (ignored; appliances do not paste).
 func (c *session) CutText(string) {}

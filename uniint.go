@@ -27,6 +27,7 @@ import (
 	"uniint/internal/core"
 	"uniint/internal/homeapp"
 	"uniint/internal/rfb"
+	"uniint/internal/sched"
 	"uniint/internal/toolkit"
 	"uniint/internal/uniserver"
 )
@@ -41,6 +42,17 @@ type TileCache = rfb.TileCache
 // NewTileCache returns a tile store bounded by budget bytes of encoded
 // bodies; budget <= 0 selects the default (rfb.DefaultTileCacheBudget).
 func NewTileCache(budget int64) *TileCache { return rfb.NewTileCache(budget) }
+
+// WorkerPool is the budgeted event runtime's worker pool: a fixed worker
+// set draining the run-queue of session turns. Pass one pool to many
+// sessions (Options.Pool; the hub shares its pool across every hosted
+// home) so worker count is a process budget independent of session count.
+type WorkerPool = sched.Pool
+
+// NewWorkerPool creates a pool with n workers (n <= 0 selects the default,
+// one per processor with a floor of four). Close it after the sessions
+// using it are closed.
+func NewWorkerPool(n int) *WorkerPool { return sched.NewPool(n) }
 
 // DefaultWidth and DefaultHeight are the served desktop geometry used when
 // Options leaves them zero — the 640×480 surface of an era display.
@@ -62,6 +74,11 @@ type Options struct {
 	// publishes encoded tiles to (see TileCache). Nil keeps tile reuse
 	// within each connection.
 	Tiles *TileCache
+	// Pool, when non-nil, runs the server's session turns on a shared
+	// worker pool the caller owns (the hub passes its pool here so all
+	// hosted homes share one worker budget). Nil: the server creates and
+	// owns a private pool.
+	Pool *WorkerPool
 }
 
 // Session is a fully wired universal-interaction stack.
@@ -110,6 +127,9 @@ func assemble(opts Options) (*appliance.Home, *toolkit.Display, *homeapp.App, *u
 	var sopts []uniserver.Option
 	if opts.Tiles != nil {
 		sopts = append(sopts, uniserver.WithTileCache(opts.Tiles))
+	}
+	if opts.Pool != nil {
+		sopts = append(sopts, uniserver.WithPool(opts.Pool))
 	}
 	server := uniserver.New(display, opts.Name, sopts...)
 	return home, display, app, server, nil
@@ -206,6 +226,13 @@ func NewSessionForHub(opts Options) (*HubSession, error) {
 // disconnects (the hub's Home contract).
 func (s *HubSession) HandleConn(conn net.Conn) error {
 	return s.Server.HandleConn(conn)
+}
+
+// AttachEdge implements hub.EdgeHome: handshake and serve one
+// readiness-driven connection on this home's worker pool — zero
+// steady-state goroutines per session (see uniserver.Server.AttachEdge).
+func (s *HubSession) AttachEdge(conn net.Conn, onClose func()) error {
+	return s.Server.AttachEdge(conn, onClose)
 }
 
 // Parked implements hub.SessionParker: the number of disconnected
