@@ -13,7 +13,7 @@ GO       ?= go
 # ns/op pins the ≥10x widget-vs-full-repaint win), and the session
 # footprint (whose bytes/session and goroutines/session pin the budgeted
 # event runtime — the goroutines/session baseline is 0, with no headroom).
-GATE_BENCH ?= BenchmarkE1InputLatency|BenchmarkE2Encoding|BenchmarkE2bPooled|BenchmarkE2bAdaptive|BenchmarkHubRoute|BenchmarkRenderFull|BenchmarkResume|BenchmarkE2bRoam|BenchmarkE2bWire|BenchmarkSessionFootprint
+GATE_BENCH ?= BenchmarkE1InputLatency|BenchmarkE2Encoding|BenchmarkE2bPooled|BenchmarkE2bAdaptive|BenchmarkHubRoute|BenchmarkRenderFull|BenchmarkResume|BenchmarkE2bRoam|BenchmarkE2bMigrate|BenchmarkE2bWire|BenchmarkSessionFootprint
 BENCHTIME  ?= 100x
 # Packages holding gated benchmarks: the root end-to-end suite plus the
 # event runtime (timer-wheel re-arm). Patterns that match nothing in a

@@ -279,7 +279,7 @@ func BenchmarkE2bBackpressure(b *testing.B) {
 	var sess *HubSession
 	h, err := hub.New(hub.Options{
 		Metrics: metrics.NewRegistry(),
-		Factory: func(homeID string) (hub.Home, error) {
+		Factory: func(homeID string) (hub.Host, error) {
 			s, err := NewSessionForHub(Options{Width: 320, Height: 240, Name: homeID})
 			if err != nil {
 				return nil, err

@@ -63,7 +63,7 @@ func TestChaosSoak(t *testing.T) {
 	resumed0 := metrics.Default().Counter("session_resumed_total").Value()
 
 	h, err := hub.New(hub.Options{
-		Factory: func(homeID string) (hub.Home, error) {
+		Factory: func(homeID string) (hub.Host, error) {
 			return NewSessionForHub(Options{
 				Width: 160, Height: 120, Name: homeID,
 				Appliances: []appliance.Appliance{appliance.NewLamp("Lamp " + homeID)},

@@ -218,6 +218,7 @@ func lintConstDocs(fset *token.FileSet, f *ast.File) int {
 // wheel timers, never as per-session goroutines.
 var sessionPathDirs = []string{
 	"internal/uniserver", "internal/hub", "internal/rfb", "internal/netsim",
+	"internal/fed",
 }
 
 func isSessionPath(path string) bool {

@@ -9,6 +9,12 @@
 //
 //	unihub -listen :5900 -homes 64 -appliances tv,lamp
 //	unihub -demo -homes 64 -demo-devices 2        # in-process load proof
+//	unihub -peers alpha,beta,gamma -homes 64      # hub-of-hubs federation
+//
+// With -peers the process runs one hub node per name behind a federation
+// router (internal/fed): homes spread across the nodes by rendezvous
+// hash, and SIGTERM evacuates members one at a time, live-migrating
+// their parked sessions to the survivors before shutdown.
 //
 // A plain-text metrics page (internal/metrics) is served on -metrics.
 package main
@@ -33,6 +39,7 @@ import (
 	"uniint/internal/appliance"
 	"uniint/internal/core"
 	"uniint/internal/device"
+	"uniint/internal/fed"
 	"uniint/internal/hub"
 	"uniint/internal/metrics"
 	"uniint/internal/trace"
@@ -58,6 +65,7 @@ func main() {
 	demo := flag.Bool("demo", false, "run the multi-home demo workload in process, print metrics, exit")
 	demoDevices := flag.Int("demo-devices", 2, "interaction devices per home in -demo")
 	demoSteps := flag.Int("demo-steps", 30, "scripted interactions per device in -demo")
+	peers := flag.String("peers", "", "comma-separated federation member names: run a hub-of-hubs of in-process nodes behind one router (empty: single hub)")
 	flag.Parse()
 
 	if err := run(config{
@@ -68,6 +76,7 @@ func main() {
 		pprof: *pprofFlag, pprofMutex: *pprofMutex, pprofBlock: *pprofBlock,
 		traceSample: *traceSample, traceSlow: *traceSlow,
 		demo: *demo, demoDevices: *demoDevices, demoSteps: *demoSteps,
+		peers: *peers,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "unihub:", err)
 		os.Exit(1)
@@ -90,6 +99,7 @@ type config struct {
 	demo                  bool
 	demoDevices           int
 	demoSteps             int
+	peers                 string
 }
 
 // homeFactory builds one household's full stack per admission. All homes
@@ -98,7 +108,7 @@ type config struct {
 // every other home's session ships an 8-byte reference to it.
 func homeFactory(classes []string, w, h int) hub.Factory {
 	tiles := uniint.NewTileCache(0)
-	return func(homeID string) (hub.Home, error) {
+	return func(homeID string) (hub.Host, error) {
 		apps := make([]appliance.Appliance, 0, len(classes))
 		for i, class := range classes {
 			a, err := appliance.New(class, fmt.Sprintf("%s/%s-%d", homeID, class, i))
@@ -142,6 +152,12 @@ func run(cfg config) error {
 	if cfg.pprofBlock > 0 {
 		runtime.SetBlockProfileRate(cfg.pprofBlock)
 	}
+	if cfg.peers != "" {
+		if cfg.demo {
+			return fmt.Errorf("-demo runs a single hub; drop -peers")
+		}
+		return runFederated(cfg, classes)
+	}
 	h, err := hub.New(hub.Options{
 		Factory:     homeFactory(classes, cfg.width, cfg.height),
 		Shards:      cfg.shards,
@@ -167,45 +183,13 @@ func run(cfg config) error {
 	}
 
 	if cfg.metricsListen != "" {
-		mux := http.NewServeMux()
-		// Content negotiation: JSON for tooling that asks for it, the
-		// Prometheus exposition format (a superset of the old plain-text
-		// page: same sample lines, plus # TYPE headers and exemplars)
-		// for everything else.
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			mServerGoroutines.Set(int64(runtime.NumGoroutine()))
-			if strings.Contains(r.Header.Get("Accept"), "application/json") {
-				w.Header().Set("Content-Type", "application/json")
-				_ = metrics.Default().WriteJSON(w)
-				return
-			}
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_ = metrics.Default().WritePrometheus(w)
+		mln, err := serveMetrics(cfg, func() map[string]any {
+			return healthz(h.Homes(), h.Connections(), start)
 		})
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(healthz(h, start))
-		})
-		mux.Handle("/debug/uniint/trace", trace.Handler())
-		if cfg.pprof {
-			// Profiling rides the metrics mux: `go tool pprof
-			// http://host:9190/debug/pprof/profile` against a live hub.
-			mux.HandleFunc("/debug/pprof/", pprof.Index)
-			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		}
-		mln, err := net.Listen("tcp", cfg.metricsListen)
 		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
+			return err
 		}
 		defer mln.Close()
-		go func() { _ = http.Serve(mln, mux) }()
-		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
-		if cfg.pprof {
-			fmt.Printf("pprof on http://%s/debug/pprof/\n", mln.Addr())
-		}
 	}
 
 	ln, err := net.Listen("tcp", cfg.listen)
@@ -232,23 +216,173 @@ func run(cfg config) error {
 	}
 }
 
+// runFederated runs the hub-of-hubs: one in-process hub node per -peers
+// name behind a fed.Cluster front router on -listen. Homes pre-admit on
+// their rendezvous owner; all nodes share one tile cache through the
+// common factory, so cross-home deduplication spans the federation. On
+// SIGTERM every member evacuates through the cluster in turn — the live
+// deploy-drain path — and the survivors' hubs then drain normally.
+func runFederated(cfg config, classes []string) error {
+	names := splitClasses(cfg.peers)
+	if len(names) == 0 {
+		return fmt.Errorf("no federation members in -peers")
+	}
+	cluster := fed.NewCluster(fed.Options{})
+	factory := homeFactory(classes, cfg.width, cfg.height)
+	hubs := make(map[string]*hub.Hub, len(names))
+	for _, name := range names {
+		h, err := hub.New(hub.Options{
+			Factory:     factory,
+			Shards:      cfg.shards,
+			MaxHomes:    cfg.maxHomes,
+			IdleTimeout: cfg.idle,
+		})
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		hubs[name] = h
+		if err := cluster.AddNode(name, h); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	for i := 0; i < cfg.homes; i++ {
+		id := workload.HomeID(i)
+		owner, ok := cluster.Owner(id)
+		if !ok {
+			return fmt.Errorf("no ring owner for %s", id)
+		}
+		if _, err := hubs[owner].Admit(id); err != nil {
+			return fmt.Errorf("pre-admit %s on %s: %w", id, owner, err)
+		}
+	}
+	fmt.Printf("federating %d homes (%s each) across %d nodes (%s) after %v\n",
+		cfg.homes, cfg.classes, len(names), cfg.peers,
+		time.Since(start).Round(time.Millisecond))
+
+	if cfg.metricsListen != "" {
+		// The federation probe sums residency across members and names
+		// each member's share — the first thing to look at when the ring
+		// is suspected of skewing.
+		mln, err := serveMetrics(cfg, func() map[string]any {
+			homes, conns := 0, int64(0)
+			members := make(map[string]any, len(hubs))
+			for name, h := range hubs {
+				homes += h.Homes()
+				conns += h.Connections()
+				members[name] = map[string]any{
+					"homes": h.Homes(), "connections": h.Connections(),
+				}
+			}
+			out := healthz(homes, conns, start)
+			out["federation"] = members
+			return out
+		})
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+	}
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("routing universal interaction connections on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- cluster.Serve(ln) }()
+	select {
+	case <-sig:
+		fmt.Println("\ndraining federation")
+		ln.Close()
+		// Evacuate members one by one — each drain live-migrates its
+		// sessions to the survivors, exactly like a rolling deploy. The
+		// last member has nowhere to ship to; its hub drains in place.
+		for _, name := range names[:len(names)-1] {
+			if err := cluster.Drain(name); err != nil {
+				fmt.Println(err)
+			}
+		}
+		if err := hubs[names[len(names)-1]].Drain(cfg.drainTimeout); err != nil {
+			fmt.Println(err)
+		}
+		snap := metrics.Default().Snapshot()
+		fmt.Printf("federation drained: %d home migrations (%d session-record bytes)\n",
+			snap.Counters["fed_migrations_total"], snap.Counters["fed_migration_bytes_total"])
+		<-serveErr
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}
+
 // mServerGoroutines tracks the process goroutine count, sampled whenever
 // /metrics or /healthz renders. Under the budgeted event runtime it should
 // track the worker budget, not the session count — a divergence here is
 // the first sign of a leaked per-session goroutine.
 var mServerGoroutines = metrics.Default().Gauge("server_goroutines")
 
+// serveMetrics starts the observability listener: /metrics with content
+// negotiation (JSON for tooling that asks for it, the Prometheus
+// exposition format — same sample lines as the old plain-text page plus
+// # TYPE headers and exemplars — for everything else), /healthz fed by
+// the caller's probe closure (single-hub and federated mode summarize
+// residency differently), the trace handler, and optionally pprof.
+// The caller closes the returned listener on shutdown.
+func serveMetrics(cfg config, hz func() map[string]any) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		mServerGoroutines.Set(int64(runtime.NumGoroutine()))
+		if strings.Contains(r.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = metrics.Default().WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = metrics.Default().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(hz())
+	})
+	mux.Handle("/debug/uniint/trace", trace.Handler())
+	if cfg.pprof {
+		// Profiling rides the metrics mux: `go tool pprof
+		// http://host:9190/debug/pprof/profile` against a live hub.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	mln, err := net.Listen("tcp", cfg.metricsListen)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	go func() { _ = http.Serve(mln, mux) }() // goroutine-ok: http.Serve blocks for the process lifetime
+	fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+	if cfg.pprof {
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", mln.Addr())
+	}
+	return mln, nil
+}
+
 // healthz summarizes liveness for probes: uptime, residency, connection
 // and session counts, detach-lot depth, scheduler saturation (worker
 // budget, run-queue depth, goroutine count) and the build that is running.
-func healthz(h *hub.Hub, start time.Time) map[string]any {
+func healthz(homes int, connections int64, start time.Time) map[string]any {
 	mServerGoroutines.Set(int64(runtime.NumGoroutine()))
 	snap := metrics.Default().Snapshot()
 	out := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(start).Seconds(),
-		"homes":          h.Homes(),
-		"connections":    h.Connections(),
+		"homes":          homes,
+		"connections":    connections,
 		"sessions":       snap.Gauges["server_sessions"],
 		"parked":         snap.Gauges["session_parked"],
 		"queue_depth":    snap.Gauges["input_queue_depth"],

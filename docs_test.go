@@ -20,10 +20,10 @@ import (
 )
 
 // wireConstPattern selects the protocol-vocabulary constants: message
-// type bytes (msgX) and encoding ids (EncX). Helper constants (scratch
-// sizes, thresholds) are deliberately out of scope — they are
-// implementation policy, not wire shape.
-var wireConstPattern = regexp.MustCompile(`^(msg|Enc)[A-Z]`)
+// type bytes (msgX), encoding ids (EncX), and migration-record fields
+// (MigX). Helper constants (scratch sizes, thresholds) are deliberately
+// out of scope — they are implementation policy, not wire shape.
+var wireConstPattern = regexp.MustCompile(`^(msg|Enc|Mig)[A-Z]`)
 
 // extraWireConstants are protocol constants outside the msg*/Enc*
 // naming scheme (or outside internal/rfb entirely) that the spec must

@@ -30,7 +30,7 @@ func TestHubThousandIdleEdgeSessions(t *testing.T) {
 	pool := uniint.NewWorkerPool(workers)
 	defer pool.Close()
 	h, err := hub.New(hub.Options{
-		Factory: func(homeID string) (hub.Home, error) {
+		Factory: func(homeID string) (hub.Host, error) {
 			return uniint.NewSessionForHub(uniint.Options{
 				Width: 64, Height: 48, Name: homeID,
 				Pool: pool,
@@ -95,7 +95,7 @@ func TestHubThousandIdleEdgeSessions(t *testing.T) {
 // a home type without edge support and a non-readiness connection.
 func TestHubAttachEdgeErrors(t *testing.T) {
 	h, err := hub.New(hub.Options{
-		Factory: func(string) (hub.Home, error) { return plainHome{}, nil },
+		Factory: func(string) (hub.Host, error) { return hub.AdaptConnHandler(plainHome{}), nil },
 		Metrics: metrics.NewRegistry(),
 	})
 	if err != nil {

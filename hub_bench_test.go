@@ -34,7 +34,7 @@ import (
 
 var hubHomeCounts = []int{1, 16, 64, 256}
 
-// stubHome is an inert hub.Home for benchmarks that measure only the
+// stubHome is an inert connection handler for benchmarks that measure only the
 // registry, not the per-home stack.
 type stubHome struct{}
 
@@ -48,7 +48,7 @@ func BenchmarkHubRoute(b *testing.B) {
 	for _, homes := range hubHomeCounts {
 		b.Run(fmt.Sprintf("%d-homes", homes), func(b *testing.B) {
 			h, err := hub.New(hub.Options{
-				Factory: func(string) (hub.Home, error) { return stubHome{}, nil },
+				Factory: func(string) (hub.Host, error) { return hub.AdaptConnHandler(stubHome{}), nil },
 				Shards:  64,
 				Metrics: metrics.NewRegistry(),
 			})
@@ -106,7 +106,7 @@ func BenchmarkHubAdmit(b *testing.B) {
 // 160×120 desktop. When record is non-nil the created session is stored
 // under its home ID so the benchmark can reach the home's middleware.
 func benchHomeFactory(record *sync.Map) hub.Factory {
-	return func(homeID string) (hub.Home, error) {
+	return func(homeID string) (hub.Host, error) {
 		s, err := uniint.NewSessionForHub(uniint.Options{
 			Width: 160, Height: 120, Name: homeID,
 			Appliances: []appliance.Appliance{appliance.NewLamp(homeID + " lamp")},

@@ -273,7 +273,7 @@ func BenchmarkE2bInput(b *testing.B) {
 			sessions := make(map[string]*HubSession, homes)
 			h, err := hub.New(hub.Options{
 				Metrics: metrics.NewRegistry(),
-				Factory: func(homeID string) (hub.Home, error) {
+				Factory: func(homeID string) (hub.Host, error) {
 					s, err := NewSessionForHub(Options{Width: 320, Height: 240, Name: homeID})
 					if err != nil {
 						return nil, err

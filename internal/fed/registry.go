@@ -1,0 +1,87 @@
+package fed
+
+import "sync"
+
+// Event is one membership change.
+type Event struct {
+	// Node is the member the event concerns.
+	Node string
+	// Join is true for a join, false for a leave.
+	Join bool
+}
+
+// Registry is the federation's membership source of truth: a static
+// member list plus join/leave notifications to subscribers. It is
+// deliberately minimal — a gossip or consensus layer can replace the
+// static list later without changing the subscriber contract, which is
+// all the Cluster depends on.
+type Registry struct {
+	mu      sync.Mutex
+	members map[string]bool
+	subs    []func(Event)
+}
+
+// NewRegistry builds a registry seeded with a static member list.
+func NewRegistry(static ...string) *Registry {
+	r := &Registry{members: make(map[string]bool, len(static))}
+	for _, n := range static {
+		r.members[n] = true
+	}
+	return r
+}
+
+// Join adds a member and notifies subscribers (no-op if present).
+func (r *Registry) Join(node string) {
+	r.mu.Lock()
+	if r.members[node] {
+		r.mu.Unlock()
+		return
+	}
+	r.members[node] = true
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(Event{Node: node, Join: true})
+	}
+}
+
+// Leave removes a member and notifies subscribers (no-op if absent).
+func (r *Registry) Leave(node string) {
+	r.mu.Lock()
+	if !r.members[node] {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.members, node)
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(Event{Node: node, Join: false})
+	}
+}
+
+// Members returns the current member set (order unspecified).
+func (r *Registry) Members() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Contains reports whether node is a member.
+func (r *Registry) Contains(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.members[node]
+}
+
+// Subscribe registers fn for future membership events. Notifications run
+// synchronously on the Join/Leave caller, in subscription order.
+func (r *Registry) Subscribe(fn func(Event)) {
+	r.mu.Lock()
+	r.subs = append(r.subs, fn)
+	r.mu.Unlock()
+}

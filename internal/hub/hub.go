@@ -10,7 +10,8 @@
 // graceful drain.
 //
 // The hub is deliberately ignorant of what a home is — it hosts anything
-// implementing Home. The root uniint package provides the production
+// implementing Host (plain connection handlers lift themselves with
+// AdaptConnHandler). The root uniint package provides the production
 // implementation (uniint.NewSessionForHub); tests substitute stubs.
 //
 // Homes hosted by one hub typically share a single content-addressed tile
@@ -41,40 +42,9 @@ var (
 	ErrDraining    = errors.New("hub: draining")
 )
 
-// Home is one hosted household: it serves universal-interaction protocol
-// connections and can be shut down. uniint.HubSession implements it.
-type Home interface {
-	// HandleConn serves one proxy connection until the peer disconnects.
-	HandleConn(conn net.Conn) error
-	// Close tears the home's stack down.
-	Close()
-}
-
-// EdgeHome is optionally implemented by homes that accept readiness-driven
-// edge connections (uniint.HubSession does): AttachEdge handshakes conn,
-// returns, and serves the session on the home's worker pool with no
-// dedicated goroutine, invoking onClose once after the session retires.
-type EdgeHome interface {
-	AttachEdge(conn net.Conn, onClose func()) error
-}
-
-// ErrNoEdge reports a home without the EdgeHome capability.
-var ErrNoEdge = errors.New("hub: home does not support edge attach")
-
-// SessionParker is optionally implemented by homes whose server parks
-// disconnected sessions (uniint.HubSession does). The hub consults it
-// for park-aware eviction — a home with sessions waiting in its detach
-// lot is not idle, whatever its connection count says — and for token
-// routing (TokenHome preambles).
-type SessionParker interface {
-	// Parked returns the number of sessions waiting in the detach lot.
-	Parked() int
-	// HasParked reports whether the lot holds a live session for token.
-	HasParked(token string) bool
-}
-
-// Factory builds the Home for a home ID on admission.
-type Factory func(homeID string) (Home, error)
+// Factory builds the Host for a home ID on admission. Homes that only
+// implement HandleConn/Close wrap themselves with AdaptConnHandler.
+type Factory func(homeID string) (Host, error)
 
 // Options configures a Hub.
 type Options struct {
@@ -103,7 +73,7 @@ type Options struct {
 // entry is one resident home.
 type entry struct {
 	id   string
-	home Home
+	home Host
 
 	refs     atomic.Int64 // connections currently routed to the home
 	lastUsed atomic.Int64 // unix nanos of last admission/route/disconnect
@@ -175,6 +145,7 @@ type Hub struct {
 	mTokenRoutes  *metrics.Counter
 	mTokenMisses  *metrics.Counter
 	mParkSkips    *metrics.Counter
+	mReleases     *metrics.Counter
 	mRouteSeconds *metrics.Histogram
 }
 
@@ -205,6 +176,7 @@ func New(opts Options) (*Hub, error) {
 		mTokenRoutes:  opts.Metrics.Counter("hub_token_routes_total"),
 		mTokenMisses:  opts.Metrics.Counter("hub_token_route_misses_total"),
 		mParkSkips:    opts.Metrics.Counter("hub_evictions_skipped_parked_total"),
+		mReleases:     opts.Metrics.Counter("hub_releases_total"),
 		mRouteSeconds: opts.Metrics.Histogram("hub_route_seconds", metrics.LatencyBuckets()),
 	}
 	h.pool = opts.Pool
@@ -263,7 +235,7 @@ func (h *Hub) lookup(id string) *entry {
 
 // Get returns the resident home for id without admitting, or
 // ErrUnknownHome.
-func (h *Hub) Get(id string) (Home, error) {
+func (h *Hub) Get(id string) (Host, error) {
 	if e := h.lookup(id); e != nil {
 		return e.home, nil
 	}
@@ -272,7 +244,7 @@ func (h *Hub) Get(id string) (Home, error) {
 
 // Admit returns the home for id, creating it via the factory on first
 // use. Concurrent admissions of the same ID yield one home.
-func (h *Hub) Admit(id string) (Home, error) {
+func (h *Hub) Admit(id string) (Host, error) {
 	if e := h.lookup(id); e != nil {
 		h.mRouteHits.Inc()
 		e.touch()
@@ -397,13 +369,6 @@ func (h *Hub) AttachEdge(id string, conn net.Conn) error {
 			}
 			continue
 		}
-		eh, ok := e.home.(EdgeHome)
-		if !ok {
-			h.conns.Add(-1)
-			e.refs.Add(-1)
-			conn.Close()
-			return ErrNoEdge
-		}
 		h.mConns.Inc()
 		h.mRouteSeconds.ObserveDuration(time.Since(start))
 		unpin := func() {
@@ -412,7 +377,7 @@ func (h *Hub) AttachEdge(id string, conn net.Conn) error {
 			h.mConns.Dec()
 			h.conns.Add(-1)
 		}
-		if err := eh.AttachEdge(conn, unpin); err != nil {
+		if err := e.home.AttachEdge(conn, unpin); err != nil {
 			unpin() // the home closed conn; the session never started
 			return err
 		}
@@ -433,14 +398,27 @@ const PreambleTimeout = 10 * time.Second
 func (h *Hub) ServeConn(conn net.Conn) error {
 	t0 := time.Now()
 	_ = conn.SetReadDeadline(t0.Add(PreambleTimeout))
-	id, token, err := ReadPreamble(conn)
+	p, err := ParsePreamble(conn)
 	if err != nil {
 		conn.Close()
 		return err
 	}
 	_ = conn.SetReadDeadline(time.Time{})
+	return h.servePreamble(p, conn, t0)
+}
+
+// ServePreamble routes a connection whose preamble was already consumed
+// (and parsed into p) by a front router — the federation layer reads the
+// line once, picks a member node, and hands the still-virgin protocol
+// stream here. It blocks for the life of the connection.
+func (h *Hub) ServePreamble(p Preamble, conn net.Conn) error {
+	return h.servePreamble(p, conn, time.Now())
+}
+
+func (h *Hub) servePreamble(p Preamble, conn net.Conn, t0 time.Time) error {
+	id := p.HomeID
 	if id == TokenHome {
-		owner, ok := h.findByToken(token)
+		owner, ok := h.FindToken(p.Token)
 		if !ok {
 			h.mTokenMisses.Inc()
 			h.mRejects.Inc()
@@ -459,13 +437,14 @@ func (h *Hub) ServeConn(conn net.Conn) error {
 	return h.Route(id, conn)
 }
 
-// findByToken scans resident homes for the one parking the session
+// FindToken scans resident homes for the one parking the session
 // token. O(resident homes), but only on the roam-back path — a
-// reconnecting device that knows its home ID never gets here.
-func (h *Hub) findByToken(token string) (string, bool) {
+// reconnecting device that knows its home ID never gets here. The
+// federation router uses it to locate a parked session across nodes.
+func (h *Hub) FindToken(token string) (string, bool) {
 	for i := range h.shards {
 		for id, e := range h.shards[i].snapshot() {
-			if p, ok := e.home.(SessionParker); ok && p.HasParked(token) {
+			if e.home.HasParked(token) {
 				return id, true
 			}
 		}
@@ -511,7 +490,7 @@ func (h *Hub) Evict(id string) bool {
 		sh.mu.Unlock()
 		return false
 	}
-	if p, ok := e.home.(SessionParker); ok && p.Parked() > 0 {
+	if e.home.Parked() > 0 {
 		// Park-aware: a home with a detached session waiting for its
 		// roaming owner is not idle. The lot's TTL empties it eventually,
 		// after which eviction proceeds.
@@ -528,6 +507,39 @@ func (h *Hub) Evict(id string) bool {
 	h.mHomes.Dec()
 	h.mEvictions.Inc()
 	return true
+}
+
+// Release removes the home from the registry without closing it,
+// transferring ownership to the caller: the federation layer evacuates a
+// node by exporting the home's parked sessions, releasing the entry here
+// and deciding itself whether the underlying host (which may be shared
+// infrastructure living outside the hub process) should close. Like
+// Evict it refuses while connections are pinned, but it ignores parked
+// sessions — the caller is expected to have exported them. Returns the
+// host and true on success.
+func (h *Hub) Release(id string) (Host, bool) {
+	sh := h.shardFor(id)
+	sh.mu.Lock()
+	e := sh.snapshot()[id]
+	if e == nil {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	// Same flag-then-refcount protocol as Evict: whichever of
+	// Release/Route runs second sees the other and backs off.
+	e.evicted.Store(true)
+	if e.refs.Load() > 0 {
+		e.evicted.Store(false)
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.publish(id, nil)
+	h.resident.Add(-1)
+	sh.mu.Unlock()
+
+	h.mHomes.Dec()
+	h.mReleases.Inc()
+	return e.home, true
 }
 
 // sweep evicts every home idle beyond IdleTimeout with no connections.

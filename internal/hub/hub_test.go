@@ -11,10 +11,11 @@ import (
 	"time"
 
 	"uniint/internal/metrics"
+	"uniint/internal/rfb"
 )
 
-// stubHome is a minimal Home: echoes one byte per connection and records
-// lifecycle.
+// stubHome is a minimal ConnHandler: echoes one byte per connection and
+// records lifecycle. Factories wrap it with AdaptConnHandler.
 type stubHome struct {
 	id     string
 	closed atomic.Bool
@@ -45,13 +46,13 @@ func newStubFactory() *stubFactory {
 	return &stubFactory{created: make(map[string]int), homes: make(map[string]*stubHome)}
 }
 
-func (f *stubFactory) factory(id string) (Home, error) {
+func (f *stubFactory) factory(id string) (Host, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.created[id]++
 	h := &stubHome{id: id}
 	f.homes[id] = h
-	return h, nil
+	return AdaptConnHandler(h), nil
 }
 
 func (f *stubFactory) creations(id string) int {
@@ -405,7 +406,7 @@ func TestShardCountRounding(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{
 		{0, 16}, {1, 1}, {3, 4}, {16, 16}, {17, 32}, {100, 128},
 	} {
-		opts := Options{Factory: func(string) (Home, error) { return &stubHome{}, nil },
+		opts := Options{Factory: func(string) (Host, error) { return AdaptConnHandler(&stubHome{}), nil },
 			Shards: tc.in, Metrics: metrics.NewRegistry()}
 		h, err := New(opts)
 		if err != nil {
@@ -528,7 +529,7 @@ func TestAdmitRacingCloseLeaksNothing(t *testing.T) {
 
 func TestFactoryErrorPropagates(t *testing.T) {
 	boom := errors.New("boom")
-	h, _ := newTestHub(t, Options{Factory: func(id string) (Home, error) {
+	h, _ := newTestHub(t, Options{Factory: func(id string) (Host, error) {
 		return nil, boom
 	}})
 	if _, err := h.Admit("x"); !errors.Is(err, boom) {
@@ -539,12 +540,17 @@ func TestFactoryErrorPropagates(t *testing.T) {
 	}
 }
 
-// parkingHome is a stubHome that also implements SessionParker: a
-// controllable detach lot for eviction tests.
+// parkingHome is a stubHome extended to the full Host surface with a
+// controllable one-slot detach lot for eviction and migration tests.
 type parkingHome struct {
 	stubHome
 	parked atomic.Int64
 	token  atomic.Value // string
+}
+
+func (p *parkingHome) AttachEdge(conn net.Conn, onClose func()) error {
+	conn.Close()
+	return ErrNoEdge
 }
 
 func (p *parkingHome) Parked() int { return int(p.parked.Load()) }
@@ -557,6 +563,32 @@ func (p *parkingHome) HasParked(token string) bool {
 	return t == token
 }
 
+func (p *parkingHome) ParkedTokens() []string {
+	if p.parked.Load() == 0 {
+		return nil
+	}
+	t, _ := p.token.Load().(string)
+	if t == "" {
+		return nil
+	}
+	return []string{t}
+}
+
+func (p *parkingHome) ExportParked(token string) (*rfb.MigrationRecord, bool) {
+	if !p.HasParked(token) || !p.claim() {
+		return nil, false
+	}
+	return &rfb.MigrationRecord{Token: token, W: 8, H: 8}, true
+}
+
+func (p *parkingHome) ImportParked(rec *rfb.MigrationRecord) error {
+	p.token.Store(rec.Token)
+	p.parked.Store(1)
+	return nil
+}
+
+func (p *parkingHome) DetachSessions(time.Duration) error { return nil }
+
 // claim simulates a resume: the parked session leaves the lot for a live
 // connection.
 func (p *parkingHome) claim() bool {
@@ -566,7 +598,7 @@ func (p *parkingHome) claim() bool {
 func TestEvictSkipsParkedHome(t *testing.T) {
 	reg := metrics.NewRegistry()
 	home := &parkingHome{}
-	h, err := New(Options{Metrics: reg, Factory: func(id string) (Home, error) { return home, nil }})
+	h, err := New(Options{Metrics: reg, Factory: func(id string) (Host, error) { return home, nil }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -602,7 +634,7 @@ func TestEvictionRacingResumeClaim(t *testing.T) {
 		reg := metrics.NewRegistry()
 		var mu sync.Mutex
 		var homes []*parkingHome
-		h, err := New(Options{Metrics: reg, Factory: func(id string) (Home, error) {
+		h, err := New(Options{Metrics: reg, Factory: func(id string) (Host, error) {
 			ph := &parkingHome{}
 			mu.Lock()
 			homes = append(homes, ph)
@@ -660,10 +692,117 @@ func TestEvictionRacingResumeClaim(t *testing.T) {
 	}
 }
 
+// TestDrainRacesAdmitAndTokenResume pins the drain-window contract: a
+// draining hub refuses NEW admissions, but resident homes keep routing
+// (the lookup fast path precedes the draining check) and a token resume
+// for a parked session still lands — a deploy must not strand the
+// clients it is waiting for.
+func TestDrainRacesAdmitAndTokenResume(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var mu sync.Mutex
+	homes := map[string]*parkingHome{}
+	h, err := New(Options{Metrics: reg, Factory: func(id string) (Host, error) {
+		ph := &parkingHome{}
+		mu.Lock()
+		homes[id] = ph
+		mu.Unlock()
+		return ph, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Admit("resident"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	resident := homes["resident"]
+	mu.Unlock()
+	resident.parked.Store(1)
+	resident.token.Store("tok-drain")
+
+	// A connection that stays open keeps Drain spinning: its HandleConn
+	// blocks reading the byte we deliberately withhold.
+	held, heldServer := net.Pipe()
+	heldDone := make(chan error, 1)
+	go func() { heldDone <- h.Route("resident", heldServer) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Connections() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("held connection never pinned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- h.Drain(5 * time.Second) }()
+	// Drain sets the flag before it waits; poll with fresh ids until an
+	// admission observes it (an id that slips in pre-flag would otherwise
+	// satisfy every later lookup from the fast path).
+	slipped := 0
+	for i := 0; ; i++ {
+		_, err := h.Admit(fmt.Sprintf("newcomer-%d", i))
+		if errors.Is(err, ErrDraining) {
+			break
+		}
+		if err == nil {
+			slipped++ // admitted before the flag landed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission never saw the draining flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Resident homes still route mid-drain.
+	c1, s1 := net.Pipe()
+	done1 := make(chan error, 1)
+	go func() { done1 <- h.Route("resident", s1) }()
+	c1.Write([]byte{5})
+	buf := make([]byte, 1)
+	if _, err := c1.Read(buf); err != nil || buf[0] != 5 {
+		t.Fatalf("resident route mid-drain: %v %x", err, buf)
+	}
+	c1.Close()
+	if err := <-done1; err != nil {
+		t.Fatalf("mid-drain route: %v", err)
+	}
+
+	// A token resume lands mid-drain.
+	c2, s2 := net.Pipe()
+	done2 := make(chan error, 1)
+	go func() { done2 <- h.ServeConn(s2) }()
+	if err := WritePreambleToken(c2, TokenHome, "tok-drain"); err != nil {
+		t.Fatal(err)
+	}
+	c2.Write([]byte{6})
+	if _, err := c2.Read(buf); err != nil || buf[0] != 6 {
+		t.Fatalf("token resume mid-drain: %v %x", err, buf)
+	}
+	c2.Close()
+	if err := <-done2; err != nil {
+		t.Fatalf("mid-drain token resume: %v", err)
+	}
+
+	// Releasing the held connection lets the drain finish clean.
+	held.Close()
+	<-heldDone
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := reg.Counter("hub_admissions_total").Value(); got != int64(1+slipped) {
+		t.Fatalf("admissions = %d, want %d (resident + pre-flag stragglers)", got, 1+slipped)
+	}
+	// The flag outlives the wait: a post-drain newcomer is still refused.
+	if _, err := h.Admit("late-newcomer"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain admission: %v, want ErrDraining", err)
+	}
+}
+
 func TestTokenRoutingFindsParkingHome(t *testing.T) {
 	reg := metrics.NewRegistry()
 	homes := map[string]*parkingHome{}
-	h, err := New(Options{Metrics: reg, Factory: func(id string) (Home, error) {
+	h, err := New(Options{Metrics: reg, Factory: func(id string) (Host, error) {
 		ph := &parkingHome{}
 		homes[id] = ph
 		return ph, nil

@@ -34,6 +34,11 @@ type PackedShadow struct {
 // RawBytes returns the uncompressed size of the packed shadow.
 func (p *PackedShadow) RawBytes() int { return p.raw }
 
+// PixelFormat returns the client-negotiated pixel format captured at pack
+// time, and whether one was negotiated at all (the migration record
+// carries both so a shipped session resumes with identical wire state).
+func (p *PackedShadow) PixelFormat() (gfx.PixelFormat, bool) { return p.pf, p.pfSet }
+
 // CompressedBytes returns the deflated size actually held.
 func (p *PackedShadow) CompressedBytes() int { return len(p.comp) }
 

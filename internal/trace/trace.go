@@ -69,13 +69,17 @@ const (
 	// StageResume is a session-lifecycle span: a parked session was
 	// reclaimed (recorded under its own sampled trace id).
 	StageResume
+	// StageMigrate is a session-lifecycle span: a parked session was
+	// shipped between federation nodes (export on the source node to
+	// install on the target; recorded under its own sampled trace id).
+	StageMigrate
 
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"proxy_flush", "wire", "hub_route", "queue", "dispatch",
-	"render", "encode", "flush", "park", "resume",
+	"render", "encode", "flush", "park", "resume", "migrate",
 }
 
 // String returns the span name exported for the stage.

@@ -21,10 +21,12 @@ import (
 // token that never returns expires after the park TTL. The lot is
 // bounded: at capacity the oldest parked session is expired to make room.
 //
-// Accounting invariant: session_parked_total ==
-// session_resumed_total + session_expired_total + session_parked (gauge)
-// whenever no park or claim is in flight. Input events carried through a
-// park window are counted (input_dispatched_total /
+// Accounting invariant: session_parked_total + session_migrated_in_total
+// == session_resumed_total + session_expired_total +
+// session_migrated_out_total + session_parked (gauge) whenever no park,
+// claim, or migration is in flight — federation moves a parked entry
+// between lots as one migrated-out/migrated-in pair. Input events carried
+// through a park window are counted (input_dispatched_total /
 // input_abandoned_total) when their session resumes or expires, not at
 // detach time.
 var (
@@ -75,6 +77,11 @@ type parkedSession struct {
 	// All three fields are guarded by lotMu.
 	packed      *rfb.PackedShadow
 	compressing chan struct{}
+
+	// migrated marks an entry installed by ImportParked — its resume's
+	// first shipped update is the federation resync, counted into
+	// fed_resync_bytes_total.
+	migrated bool
 
 	parkedAt time.Time
 	deadline time.Time
@@ -356,6 +363,7 @@ func (c *session) adopt(ps *parkedSession) {
 	c.pending = ps.pending
 	c.hasPending = ps.hasPending
 	c.lastPtrMask = ps.lastPtrMask
+	c.fedResync = ps.migrated
 	if ps.ws == nil && ps.packed != nil {
 		// The shadow went cold while parked: thaw it. A decode failure
 		// (impossible short of memory corruption) falls back to the fresh

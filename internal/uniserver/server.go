@@ -398,6 +398,11 @@ type session struct {
 	outbox     *gfx.Damage // requested damage awaiting the writer
 	owedEmpty  int         // zero-rect replies owed (empty-region requests)
 
+	// fedResync marks a session resumed from a MIGRATED lot entry: the
+	// first update it ships is the cross-node resync, counted into
+	// fed_resync_bytes_total. Writer-turn-only after adopt seeds it.
+	fedResync bool
+
 	// ws is the wire tier's model of the client (shadow framebuffer +
 	// tile window); writer-turn-only. Unlike turn scratch it is client
 	// STATE, not scratch — it parks with the session and is Reset
@@ -567,6 +572,10 @@ func (c *session) flush(rects []gfx.Rect, ts *turnScratch) {
 	}
 	mUpdatesSent.Inc()
 	mUpdateBytes.Add(int64(size))
+	if c.fedResync {
+		c.fedResync = false
+		mFedResyncBytes.Add(int64(size))
+	}
 	// Close the input→damage→update loop: this update is the first to
 	// ship since an input event was dispatched, so it (approximately)
 	// carries that input's visual consequence.

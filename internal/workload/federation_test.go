@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFederationDeterministic(t *testing.T) {
+	cfg := FederationConfig{
+		Nodes: 3, Homes: 12, Devices: 5, Hops: 6,
+		StepsPerVisit: 4, Joins: 2, Drains: 2, Seed: 99,
+	}
+	a, b := Federation(cfg), Federation(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config+seed produced different plans")
+	}
+	if len(a.Nodes) != 3 || a.Nodes[0] != NodeID(0) {
+		t.Fatalf("initial ring = %v", a.Nodes)
+	}
+	if len(a.Plans) != 5 {
+		t.Fatalf("device plans = %d", len(a.Plans))
+	}
+	if a.Steps() != 5*6*4 {
+		t.Fatalf("Steps() = %d, want %d", a.Steps(), 5*6*4)
+	}
+}
+
+func TestFederationTopologySchedule(t *testing.T) {
+	cfg := FederationConfig{
+		Nodes: 2, Homes: 8, Devices: 3, Hops: 5,
+		Joins: 1, Drains: 2, Seed: 7,
+	}
+	plan := Federation(cfg)
+	if len(plan.Topology) != 3 {
+		t.Fatalf("topology events = %d, want 3", len(plan.Topology))
+	}
+	members := cfg.Nodes
+	joined := map[string]bool{}
+	for _, n := range plan.Nodes {
+		joined[n] = true
+	}
+	lastHop := 0
+	for i, ev := range plan.Topology {
+		if ev.AfterHop < lastHop {
+			t.Fatalf("event %d out of order: hop %d after %d", i, ev.AfterHop, lastHop)
+		}
+		lastHop = ev.AfterHop
+		if ev.AfterHop < 1 || ev.AfterHop >= cfg.Hops {
+			t.Fatalf("event %d at hop %d, outside (0, %d)", i, ev.AfterHop, cfg.Hops)
+		}
+		switch ev.Kind {
+		case "join":
+			if joined[ev.Node] {
+				t.Fatalf("event %d joins already-member %s", i, ev.Node)
+			}
+			joined[ev.Node] = true
+			members++
+		case "drain":
+			if !joined[ev.Node] {
+				t.Fatalf("event %d drains non-member %s", i, ev.Node)
+			}
+			members--
+			if members < 1 {
+				t.Fatalf("event %d drains the last member", i)
+			}
+		default:
+			t.Fatalf("event %d has kind %q", i, ev.Kind)
+		}
+	}
+}
+
+func TestFederationSharesRoamItineraries(t *testing.T) {
+	// Same seed → federation devices walk the identical itinerary a plain
+	// roam workload generates, so runs are comparable.
+	fed := Federation(FederationConfig{Nodes: 2, Homes: 6, Devices: 4, Hops: 3, StepsPerVisit: 5, Seed: 42})
+	roam := Roam(RoamConfig{Homes: 6, Devices: 4, Hops: 3, StepsPerVisit: 5, Seed: 42})
+	if !reflect.DeepEqual(fed.Plans, roam) {
+		t.Fatal("federation itineraries diverge from the roam generator")
+	}
+}

@@ -125,7 +125,7 @@ func BenchmarkE2bRoam(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			h, err := hub.New(hub.Options{
 				Metrics: metrics.NewRegistry(),
-				Factory: func(homeID string) (hub.Home, error) {
+				Factory: func(homeID string) (hub.Host, error) {
 					return NewSessionForHub(Options{
 						Width: 160, Height: 120, Name: homeID,
 						Appliances: []appliance.Appliance{appliance.NewLamp("Lamp " + homeID)},

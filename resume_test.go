@@ -18,6 +18,7 @@ import (
 	"uniint/internal/core"
 	"uniint/internal/device"
 	"uniint/internal/gfx"
+	"uniint/internal/hub"
 	"uniint/internal/metrics"
 	"uniint/internal/netsim"
 	"uniint/internal/toolkit"
@@ -51,6 +52,17 @@ func newResumeStack(t *testing.T) *resumeStack {
 // and the wide backoff keeps the park window open while it does.
 func newResumeStackTuned(t *testing.T, backoff time.Duration, wrap func(inner func()) func()) *resumeStack {
 	t.Helper()
+	st := newResumeDisplay(t, wrap)
+	st.connect(backoff, func(conn net.Conn) { st.srv.HandleConn(conn) }, "")
+	return st
+}
+
+// newResumeDisplay builds the server side of the stack — display,
+// widgets, uniserver — without connecting a supervisor, so tests can
+// route the connection through something other than a direct dial (the
+// federation e2e fronts it with a hub-of-hubs router).
+func newResumeDisplay(t *testing.T, wrap func(inner func()) func()) *resumeStack {
+	t.Helper()
 	st := &resumeStack{t: t, display: toolkit.NewDisplay(320, 240)}
 	st.srv = uniserver.New(st.display, "resume-e2e")
 	t.Cleanup(st.srv.Close)
@@ -69,10 +81,25 @@ func newResumeStackTuned(t *testing.T, backoff time.Duration, wrap func(inner fu
 	root.Add(st.lbl)
 	st.display.SetRoot(root)
 	st.display.Render()
+	return st
+}
 
+// connect attaches a supervised device pair dialing through serve (the
+// server side of each connection). A non-empty preamble home-id makes
+// every dial open with the hub routing preamble — the resume token is
+// not the dialer's concern; it rides the protocol handshake.
+func (st *resumeStack) connect(backoff time.Duration, serve func(net.Conn), preambleHome string) {
+	t := st.t
+	t.Helper()
 	dial := func() (net.Conn, error) {
 		sc, cc := net.Pipe()
-		go st.srv.HandleConn(sc)
+		go serve(sc)
+		if preambleHome != "" {
+			if err := hub.WritePreamble(cc, preambleHome); err != nil {
+				cc.Close()
+				return nil, err
+			}
+		}
 		link := netsim.Wrap(cc)
 		st.mu.Lock()
 		st.link = link
@@ -99,7 +126,6 @@ func newResumeStackTuned(t *testing.T, backoff time.Duration, wrap func(inner fu
 	if err := sup.SelectOutput("tv-1"); err != nil {
 		t.Fatal(err)
 	}
-	return st
 }
 
 func (st *resumeStack) dropLink() {

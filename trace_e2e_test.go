@@ -88,7 +88,7 @@ func TestTraceCoversAllPipelineStages(t *testing.T) {
 	defer trace.Reset()
 	defer trace.SetSampling(0)
 
-	h, err := hub.New(hub.Options{Factory: func(homeID string) (hub.Home, error) {
+	h, err := hub.New(hub.Options{Factory: func(homeID string) (hub.Host, error) {
 		return NewSessionForHub(Options{
 			Width: 320, Height: 240, Name: homeID,
 			Appliances: []appliance.Appliance{appliance.NewLamp("Trace Lamp")},

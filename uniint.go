@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"uniint/internal/appliance"
 	"uniint/internal/core"
@@ -61,7 +62,13 @@ const (
 	DefaultHeight = 480
 )
 
-// Options configures a Session.
+// Options configures a Session. It is the single user-facing
+// configuration surface of the stack: every tunable the underlying
+// subsystems expose is (or will be) a field here, mapped internally onto
+// the right uniserver.Option values. Constructing a uniserver.Server
+// directly with positional arguments and functional options is a
+// lower-level path retained for the internal packages — new code should
+// configure through Options and let assemble do the mapping.
 type Options struct {
 	// Width, Height set the desktop geometry (defaults 640×480).
 	Width, Height int
@@ -79,6 +86,15 @@ type Options struct {
 	// hosted homes share one worker budget). Nil: the server creates and
 	// owns a private pool.
 	Pool *WorkerPool
+	// ParkTTL sets how long a disconnected session stays reclaimable in
+	// the detach lot (maps to uniserver.WithParkTTL). Zero keeps the
+	// default (uniserver.DefaultParkTTL); negative disables parking, so
+	// every disconnect tears its session down.
+	ParkTTL time.Duration
+	// ParkCapacity bounds the detach lot (maps to
+	// uniserver.WithParkCapacity). Zero keeps the default
+	// (uniserver.DefaultParkCapacity); negative disables parking.
+	ParkCapacity int
 }
 
 // Session is a fully wired universal-interaction stack.
@@ -130,6 +146,20 @@ func assemble(opts Options) (*appliance.Home, *toolkit.Display, *homeapp.App, *u
 	}
 	if opts.Pool != nil {
 		sopts = append(sopts, uniserver.WithPool(opts.Pool))
+	}
+	if opts.ParkTTL != 0 {
+		ttl := opts.ParkTTL
+		if ttl < 0 {
+			ttl = 0 // negative means "disable parking" at this layer
+		}
+		sopts = append(sopts, uniserver.WithParkTTL(ttl))
+	}
+	if opts.ParkCapacity != 0 {
+		capacity := opts.ParkCapacity
+		if capacity < 0 {
+			capacity = 0 // the server treats <1 as parking disabled
+		}
+		sopts = append(sopts, uniserver.WithParkCapacity(capacity))
 	}
 	server := uniserver.New(display, opts.Name, sopts...)
 	return home, display, app, server, nil
@@ -191,7 +221,10 @@ func (s *Session) WaitIdle() { s.Home.Network().WaitIdle() }
 // middleware → application → server stack, but without the in-process
 // proxy pipe — connections arrive from outside, routed by the multi-home
 // hub (internal/hub), which hosts many HubSessions in one process. It
-// satisfies the hub's Home contract (HandleConn + Close).
+// implements the full hub.Host contract directly: connection serving
+// (HandleConn/AttachEdge), park-aware idle state (Parked/HasParked),
+// session migration (ParkedTokens/ExportParked/ImportParked), federation
+// drain (DetachSessions), and teardown (Close).
 type HubSession struct {
 	// Home is the appliance household (HAVi network + simulators).
 	Home *appliance.Home
@@ -223,26 +256,48 @@ func NewSessionForHub(opts Options) (*HubSession, error) {
 }
 
 // HandleConn serves one already-routed proxy connection until the peer
-// disconnects (the hub's Home contract).
+// disconnects (the hub.Host contract).
 func (s *HubSession) HandleConn(conn net.Conn) error {
 	return s.Server.HandleConn(conn)
 }
 
-// AttachEdge implements hub.EdgeHome: handshake and serve one
+// AttachEdge implements hub.Host: handshake and serve one
 // readiness-driven connection on this home's worker pool — zero
 // steady-state goroutines per session (see uniserver.Server.AttachEdge).
 func (s *HubSession) AttachEdge(conn net.Conn, onClose func()) error {
 	return s.Server.AttachEdge(conn, onClose)
 }
 
-// Parked implements hub.SessionParker: the number of disconnected
-// sessions waiting in this home's detach lot. The hub's idle eviction
-// consults it so a home is not torn down under a roaming user.
+// Parked implements hub.Host: the number of disconnected sessions
+// waiting in this home's detach lot. The hub's idle eviction consults it
+// so a home is not torn down under a roaming user.
 func (s *HubSession) Parked() int { return s.Server.Parked() }
 
-// HasParked implements hub.SessionParker: whether this home's detach lot
-// holds a live session for token (the hub's token-routing probe).
+// HasParked implements hub.Host: whether this home's detach lot holds a
+// live session for token (the hub's token-routing probe).
 func (s *HubSession) HasParked(token string) bool { return s.Server.HasParked(token) }
+
+// ParkedTokens implements hub.Host: the detach lot's resume tokens,
+// enumerated by the federation layer before a migration.
+func (s *HubSession) ParkedTokens() []string { return s.Server.ParkedTokens() }
+
+// ExportParked implements hub.Host: extract one parked session as a
+// portable migration record (see uniserver.Server.ExportParked).
+func (s *HubSession) ExportParked(token string) (*rfb.MigrationRecord, bool) {
+	return s.Server.ExportParked(token)
+}
+
+// ImportParked implements hub.Host: install a shipped migration record
+// into this home's detach lot, making the session resumable here.
+func (s *HubSession) ImportParked(rec *rfb.MigrationRecord) error {
+	return s.Server.ImportParked(rec)
+}
+
+// DetachSessions implements hub.Host: force-park every live session (the
+// federation drain hook; see uniserver.Server.DetachSessions).
+func (s *HubSession) DetachSessions(timeout time.Duration) error {
+	return s.Server.DetachSessions(timeout)
+}
 
 // Close tears the stack down in dependency order. Live connections are
 // disconnected by the server shutdown.
